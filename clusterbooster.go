@@ -1,0 +1,103 @@
+// Package clusterbooster is a from-scratch Go reproduction of the system
+// described in "Application performance on a Cluster-Booster system"
+// (Kreuzer, Eicker, Amaya, Suarez — IPDPS Workshops 2018, arXiv:1904.05275):
+// the DEEP-ER prototype of the Cluster-Booster architecture, its software
+// stack, and the xPic space-weather application whose partitioning across
+// Cluster and Booster provides the paper's headline results.
+//
+// Because the original runs on hardware (Haswell + KNL nodes on an EXTOLL
+// fabric) and an MPI stack that do not exist here, the package operates a
+// deterministic virtual-time simulation platform: every MPI rank is a
+// goroutine with a virtual clock, computation is costed through calibrated
+// node models, and communication through a fabric model (see DESIGN.md for
+// the substitution argument). The algorithms themselves are real — the PIC
+// code really moves particles and solves Maxwell's equations; only time is
+// modelled.
+//
+// Quick start:
+//
+//	sys := clusterbooster.Prototype()           // 16 Cluster + 8 Booster nodes
+//	rep, err := sys.RunXPicSplit(8, clusterbooster.XPicTable2Config())
+//	fmt.Println(rep)                            // C+B runtimes, solver split
+//
+// The sub-systems are importable through this façade:
+//
+//	System.Runtime    — ParaStation-like MPI (p2p, collectives, Comm_spawn)
+//	System.Scheduler  — module-aware resource manager and batch queue
+//	System.FS         — BeeGFS-like parallel file system (+BeeOND cache)
+//	System.NVMe       — per-node NVMe devices
+//	System.NAM        — network-attached memory on the fabric
+//
+// Experiments: the Fig3/Fig7/Fig8/Table1/Table2 generators reproduce every
+// table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package clusterbooster
+
+import (
+	"clusterbooster/internal/bench"
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/msa"
+	"clusterbooster/internal/xpic"
+)
+
+// System is a booted Cluster-Booster machine (alias of the core type).
+type System = core.System
+
+// Options tunes system construction.
+type Options = core.Options
+
+// XPicConfig parameterises an xPic run.
+type XPicConfig = xpic.Config
+
+// XPicReport is the outcome of an xPic run.
+type XPicReport = xpic.Report
+
+// New builds a system with the given node counts per module.
+func New(clusterNodes, boosterNodes int, opts Options) *System {
+	return core.New(clusterNodes, boosterNodes, opts)
+}
+
+// Prototype builds the DEEP-ER prototype: 16 Cluster + 8 Booster nodes with
+// the full storage stack (Table I of the paper).
+func Prototype() *System { return core.Prototype() }
+
+// ModularSystem is an N-module Modular Supercomputing machine — the §VI
+// generalisation of the Cluster-Booster concept (DEEP-EST).
+type ModularSystem = msa.System
+
+// ModuleDef declares one module of a modular system.
+type ModuleDef = msa.ModuleDef
+
+// NewModular builds a modular system from explicit module definitions.
+func NewModular(defs []ModuleDef) (*ModularSystem, error) { return msa.New(defs) }
+
+// DEEPEST builds the three-module DEEP-EST-style prototype
+// (Cluster + Booster + Data Analytics Module).
+func DEEPEST() *ModularSystem { return msa.DEEPEST() }
+
+// XPicTable2Config returns the paper's experiment setup (Table II): 4096
+// cells per node, 2048 particles per cell.
+func XPicTable2Config() XPicConfig { return xpic.Table2Config() }
+
+// XPicQuickConfig returns a laptop-quick xPic workload for experimentation.
+func XPicQuickConfig(steps int) XPicConfig { return xpic.QuickConfig(steps) }
+
+// Experiment generators, re-exported from the harness. Each returns the rows
+// or series of the corresponding table/figure of the paper.
+var (
+	// Table1 reproduces the hardware-configuration table.
+	Table1 = bench.Table1
+	// RenderTable1 renders it as text.
+	RenderTable1 = bench.RenderTable1
+	// Fig3 measures the MPI bandwidth/latency curves.
+	Fig3 = bench.Fig3
+	// RenderFig3 renders them as text.
+	RenderFig3 = bench.RenderFig3
+	// Fig7 runs the three single-node xPic scenarios.
+	Fig7 = bench.Fig7
+	// RenderFig7 renders the result.
+	RenderFig7 = bench.RenderFig7
+	// Fig8 runs the strong-scaling study.
+	Fig8 = bench.Fig8
+	// RenderFig8 renders the result.
+	RenderFig8 = bench.RenderFig8
+)

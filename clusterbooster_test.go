@@ -1,0 +1,44 @@
+package clusterbooster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrototypeFacade(t *testing.T) {
+	sys := Prototype()
+	if sys.Machine == nil || sys.Runtime == nil || sys.Scheduler == nil {
+		t.Fatal("prototype incomplete")
+	}
+	if len(sys.NVMe) != 24 || len(sys.NAM) != 2 || sys.FS == nil {
+		t.Fatal("storage stack incomplete")
+	}
+}
+
+func TestXPicThroughFacade(t *testing.T) {
+	sys := New(1, 1, Options{WithoutStorage: true})
+	cfg := XPicQuickConfig(4)
+	rep, err := sys.RunXPicSplit(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestTable2ConfigIsPaperWorkload(t *testing.T) {
+	cfg := XPicTable2Config()
+	if cfg.Cells() != 4096 || cfg.PPC != 2048 {
+		t.Fatalf("Table II workload wrong: %d cells, %d ppc", cfg.Cells(), cfg.PPC)
+	}
+}
+
+func TestExperimentGeneratorsExported(t *testing.T) {
+	if !strings.Contains(RenderTable1(), "EXTOLL") {
+		t.Fatal("Table1 renderer broken")
+	}
+	if len(Table1()) < 10 {
+		t.Fatal("Table1 incomplete")
+	}
+}

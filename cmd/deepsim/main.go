@@ -1,0 +1,104 @@
+// Command deepsim regenerates the tables and figures of "Application
+// performance on a Cluster-Booster system" on the simulated DEEP-ER
+// prototype.
+//
+// Usage:
+//
+//	deepsim [flags] table1|table2|fig3|fig7|fig8|all
+//
+// Flags:
+//
+//	-quick     run reduced workloads (seconds instead of minutes)
+//	-steps N   override the xPic step count
+//	-scale K   override the particle fidelity divisor
+//
+// The output prints the measured series next to the paper's reference
+// values; EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterbooster/internal/bench"
+	"clusterbooster/internal/xpic"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	steps := flag.Int("steps", 0, "override xPic step count")
+	scale := flag.Int("scale", 0, "override particle fidelity divisor")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] table1|table2|fig3|fig7|fig8|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := xpic.Table2Config()
+	if *quick {
+		cfg.Steps = 60
+		cfg.ParticleScale = 512
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *scale > 0 {
+		cfg.ParticleScale = *scale
+	}
+
+	target := flag.Arg(0)
+	run := func(name string, fn func() error) {
+		if target != name && target != "all" {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(bench.RenderTable1())
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Println(bench.Table2(cfg))
+		return nil
+	})
+	run("fig3", func() error {
+		rows, err := bench.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig3(rows))
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := bench.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig7(res))
+		return nil
+	})
+	run("fig8", func() error {
+		res, err := bench.Fig8(cfg, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderFig8(res))
+		return nil
+	})
+
+	switch target {
+	case "table1", "table2", "fig3", "fig7", "fig8", "all":
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

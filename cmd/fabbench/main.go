@@ -1,0 +1,49 @@
+// Command fabbench runs fabric microbenchmarks on the simulated EXTOLL
+// network: ping-pong latency and stream bandwidth between any node-type pair
+// (the measurements of Fig. 3), plus RDMA to the network-attached memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterbooster/internal/bench"
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/nam"
+)
+
+func main() {
+	sizes := flag.String("sizes", "", "comma-separated message sizes (default: Fig. 3 sweep)")
+	withNAM := flag.Bool("nam", false, "also benchmark RDMA to the network-attached memory")
+	flag.Parse()
+	_ = sizes
+
+	rows, err := bench.Fig3()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.RenderFig3(rows))
+
+	if *withNAM {
+		sys := core.Prototype()
+		dev := nam.New(sys.Network, "nam-bench", 2<<30)
+		region, err := dev.Alloc("bench", 1<<30)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("NAM RDMA (one-sided, no remote CPU):")
+		fmt.Printf("%-12s %14s %14s\n", "Size [B]", "write [MB/s]", "read [MB/s]")
+		for size := int64(4 << 10); size <= 256<<20; size *= 8 {
+			wt, err := region.Write(sys.Machine.Node(0), size, 0)
+			if err != nil {
+				break
+			}
+			rt, _ := region.Read(sys.Machine.Node(0), size, 0)
+			fmt.Printf("%-12d %14.0f %14.0f\n", size,
+				float64(size)/wt.Seconds()/1e6, float64(size)/rt.Seconds()/1e6)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command xpicrun runs the xPic space-weather application on a simulated
+// Cluster-Booster system in any of the three scenarios of the paper.
+//
+// Usage:
+//
+//	xpicrun -mode cluster|booster|split -nodes N [workload flags]
+//
+// Example (the paper's Fig. 7 C+B point):
+//
+//	xpicrun -mode split -nodes 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/xpic"
+)
+
+func main() {
+	mode := flag.String("mode", "split", "cluster, booster, or split")
+	nodes := flag.Int("nodes", 1, "nodes per solver")
+	steps := flag.Int("steps", 0, "time steps (default: Table II workload)")
+	nx := flag.Int("nx", 0, "grid cells in x")
+	ny := flag.Int("ny", 0, "grid cells in y")
+	ppc := flag.Int("ppc", 0, "particles per cell")
+	scale := flag.Int("scale", 0, "particle fidelity divisor")
+	verbose := flag.Bool("v", false, "per-step diagnostics")
+	flag.Parse()
+
+	cfg := xpic.Table2Config()
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *nx > 0 {
+		cfg.NX = *nx
+	}
+	if *ny > 0 {
+		cfg.NY = *ny
+	}
+	if *ppc > 0 {
+		cfg.PPC = *ppc
+	}
+	if *scale > 0 {
+		cfg.ParticleScale = *scale
+	}
+	cfg.Verbose = *verbose
+
+	sys := core.New(*nodes, *nodes, core.Options{WithoutStorage: true})
+	var rep xpic.Report
+	var err error
+	switch *mode {
+	case "cluster":
+		rep, err = sys.RunXPicCluster(*nodes, cfg)
+	case "booster":
+		rep, err = sys.RunXPicBooster(*nodes, cfg)
+	case "split":
+		rep, err = sys.RunXPicSplit(*nodes, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "xpicrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpicrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+	fmt.Printf("field energy %.6g, kinetic energy %.6g, CG iterations %d\n",
+		rep.FieldEnergy, rep.KineticEnergy, rep.CGIters)
+}

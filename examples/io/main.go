@@ -1,0 +1,76 @@
+// IO: the DEEP-ER I/O stack of §III-C. Sixteen tasks write task-local output
+// through SIONlib into one container on BeeGFS, a BeeOND cache domain on
+// node-local NVMe absorbs a checkpoint burst asynchronously, and the data is
+// read back and verified.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/sion"
+	"clusterbooster/internal/vclock"
+)
+
+func main() {
+	sys := core.Prototype()
+
+	// --- SIONlib: task-local I/O concentrated into one container file ---
+	const ntasks = 16
+	nodes, err := sys.ClusterNodes(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, _, err := sion.Create(sys.FS, "/data/moments.sion", ntasks, 64<<10, nodes[0], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tWrite vclock.Time
+	payloads := make([][]byte, ntasks)
+	for task := 0; task < ntasks; task++ {
+		payloads[task] = bytes.Repeat([]byte{byte('A' + task)}, 1<<20) // 1 MiB each
+		done, err := w.WriteTask(task, payloads[task], nodes[task], 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tWrite = vclock.Max(tWrite, done)
+	}
+	tClose, err := w.Close(nodes[0], tWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIONlib: %d task streams → 1 container, %d MiB in %v\n",
+		ntasks, ntasks, tClose)
+
+	// Read back and verify.
+	r, _, err := sion.OpenRead(sys.FS, "/data/moments.sion", nodes[3], tClose)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, tRead, err := r.ReadTask(7, nodes[3], tClose)
+	if err != nil || !bytes.Equal(got, payloads[7]) {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Printf("read back task 7 (%d bytes) from another node, verified, at %v\n", len(got), tRead)
+
+	// --- BeeOND cache domain: async NVMe cache in front of the global FS ---
+	cacheAsync := beegfs.NewCache(sys.FS, beegfs.CacheAsync, sys.NVMe)
+	cacheSync := beegfs.NewCache(sys.FS, beegfs.CacheSync, sys.NVMe)
+	burst := make([]byte, 128<<20) // a 128 MiB checkpoint burst
+
+	tAsync, err := cacheAsync.Write("/ckpt/async.bin", burst, nodes[0], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tSync, err := cacheSync.Write("/ckpt/sync.bin", burst, nodes[1], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BeeOND 128 MiB burst: async (to NVMe) %v vs sync (write-through) %v → %.1f× faster return\n",
+		tAsync, tSync, tSync.Seconds()/tAsync.Seconds())
+	drained := cacheAsync.Drain(tAsync)
+	fmt.Printf("async data safe in the global FS after drain at %v\n", drained)
+}

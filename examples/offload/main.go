@@ -1,0 +1,93 @@
+// Offload: the OmpSs-style task offload of §III-B. A task graph annotated
+// with data dependencies runs on a Cluster rank; the heavy, vector-friendly
+// kernel is annotated for offload and executed on a Booster worker through
+// real MPI traffic on the spawn inter-communicator — the second porting path
+// the paper describes (xPic chose raw MPI_Comm_spawn; this is the pragma
+// path).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/omps"
+	"clusterbooster/internal/psmpi"
+)
+
+func main() {
+	sys := core.New(2, 2, core.Options{WithoutStorage: true})
+	sys.Runtime.Register("omps_worker", omps.WorkerMain)
+
+	nodes, err := sys.ClusterNodes(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Runtime.Launch(psmpi.LaunchSpec{
+		Nodes: nodes,
+		Main: func(p *psmpi.Proc) error {
+			// Spawn one offload worker on the Booster.
+			inter, err := p.Spawn(p.World(), psmpi.SpawnSpec{
+				Binary: "omps_worker", Procs: 1, Module: machine.Booster,
+			})
+			if err != nil {
+				return err
+			}
+
+			// Build the annotated task graph:
+			//   prepare(out data) → kernel(inout data, offloaded) → reduce(in data)
+			g := omps.NewGraph(p, 0)
+			data := make([]float64, 1<<16)
+			g.Add("prepare", []omps.Dep{{Name: "data", Mode: omps.Out}},
+				machine.Work{Class: machine.KernelStream, Bytes: float64(8 * len(data))},
+				func() {
+					for i := range data {
+						data[i] = float64(i % 7)
+					}
+				})
+			// The heavy particle-class kernel: 30 GFlop — worth shipping to
+			// the Booster (1.35× faster there).
+			g.AddOffload("kernel", []omps.Dep{{Name: "data", Mode: omps.InOut}},
+				machine.Work{Class: machine.KernelParticle, Flops: 3e10},
+				8*len(data), 8*len(data),
+				func() {
+					for i := range data {
+						data[i] *= 2
+					}
+				})
+			var sum float64
+			g.Add("reduce", []omps.Dep{{Name: "data", Mode: omps.In}},
+				machine.Work{Class: machine.KernelStream, Bytes: float64(8 * len(data))},
+				func() {
+					for _, v := range data {
+						sum += v
+					}
+				})
+
+			r, err := g.RunWithOffload(inter, 0)
+			if err != nil {
+				return err
+			}
+			omps.StopWorker(p, inter, 0)
+			fmt.Printf("graph done: %d tasks (%d offloaded), makespan %v, critical path %v\n",
+				r.Executed, r.Offloaded, r.Makespan, r.CriticalPath)
+			fmt.Printf("result checksum: %.0f\n", sum)
+
+			// For comparison: the same graph fully local.
+			g2 := omps.NewGraph(p, 0)
+			g2.Add("kernel-local", nil, machine.Work{Class: machine.KernelParticle, Flops: 3e10}, nil)
+			r2, err := g2.Run()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("offloaded kernel: %v vs local execution: %v (Booster wins on this class)\n",
+				r.Makespan, r2.Makespan)
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virtual job time: %v\n", res.Makespan)
+}

@@ -1,0 +1,254 @@
+// Package beegfs models the parallel file system of the DEEP-ER prototype:
+// BeeGFS with one metadata server and two storage servers holding 57 TB of
+// spinning disks (§II-B, §III-C of the paper), plus the BeeOND-based cache
+// domain on node-local NVMe that DEEP-ER added (cache.go).
+//
+// Files are striped in fixed-size chunks over the storage targets. A write
+// first crosses the fabric to each involved target (RDMA), then occupies that
+// target's disk queue; a read does the reverse. Content is stored for real —
+// SIONlib containers and checkpoints written through this package can be read
+// back and verified bit-for-bit — while all costs are virtual-time.
+package beegfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// Config describes the file-system deployment.
+type Config struct {
+	StorageTargets int         // number of storage servers (prototype: 2)
+	ChunkSize      int         // stripe chunk size in bytes
+	TargetGBs      float64     // per-target disk array bandwidth
+	MetaLatency    vclock.Time // metadata operation service time
+	CapacityBytes  int64       // total capacity
+}
+
+// DefaultConfig returns the DEEP-ER storage configuration: 2 storage servers
+// with spinning-disk arrays (~1.2 GB/s each), 1 metadata server, 57 TB.
+func DefaultConfig() Config {
+	return Config{
+		StorageTargets: 2,
+		ChunkSize:      512 << 10,
+		TargetGBs:      1.2,
+		MetaLatency:    500 * vclock.Microsecond,
+		CapacityBytes:  57 << 40,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.StorageTargets == 0 {
+		c.StorageTargets = d.StorageTargets
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = d.ChunkSize
+	}
+	if c.TargetGBs == 0 {
+		c.TargetGBs = d.TargetGBs
+	}
+	if c.MetaLatency == 0 {
+		c.MetaLatency = d.MetaLatency
+	}
+	if c.CapacityBytes == 0 {
+		c.CapacityBytes = d.CapacityBytes
+	}
+	return c
+}
+
+type file struct {
+	data []byte
+}
+
+// FS is a BeeGFS instance on the fabric.
+type FS struct {
+	cfg       Config
+	net       *fabric.Network
+	metaEP    int
+	metaQ     *vclock.SharedClock
+	targetEPs []int
+	targetQs  []*vclock.SharedClock
+
+	mu    sync.Mutex
+	files map[string]*file
+	used  int64
+}
+
+// New attaches a file system to the fabric. A zero Config selects the
+// prototype deployment.
+func New(net *fabric.Network, cfg Config) *FS {
+	cfg = cfg.withDefaults()
+	fs := &FS{
+		cfg:    cfg,
+		net:    net,
+		metaEP: net.AttachEndpoint(),
+		metaQ:  vclock.NewSharedClock(0),
+		files:  map[string]*file{},
+	}
+	for i := 0; i < cfg.StorageTargets; i++ {
+		fs.targetEPs = append(fs.targetEPs, net.AttachEndpoint())
+		fs.targetQs = append(fs.targetQs, vclock.NewSharedClock(0))
+	}
+	return fs
+}
+
+// Config returns the effective configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Used returns the bytes stored.
+func (fs *FS) Used() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.used
+}
+
+// metaOp costs one metadata round trip from the node: fabric latency to the
+// MDS plus the (serialised) metadata service time.
+func (fs *FS) metaOp(node *machine.Node, ready vclock.Time) vclock.Time {
+	req := fs.net.RDMAWrite(node, fs.metaEP, 64, ready)
+	_, end := fs.metaQ.Reserve(req, fs.cfg.MetaLatency)
+	return end
+}
+
+// Create makes an empty file (overwriting any existing one) and returns the
+// completion time of the metadata operation.
+func (fs *FS) Create(path string, node *machine.Node, ready vclock.Time) vclock.Time {
+	fs.mu.Lock()
+	if old, ok := fs.files[path]; ok {
+		fs.used -= int64(len(old.data))
+	}
+	fs.files[path] = &file{}
+	fs.mu.Unlock()
+	return fs.metaOp(node, ready)
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the current size of a file.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("beegfs: %s: no such file", path)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Delete removes a file; missing files are a no-op.
+func (fs *FS) Delete(path string, node *machine.Node, ready vclock.Time) vclock.Time {
+	fs.mu.Lock()
+	if f, ok := fs.files[path]; ok {
+		fs.used -= int64(len(f.data))
+		delete(fs.files, path)
+	}
+	fs.mu.Unlock()
+	return fs.metaOp(node, ready)
+}
+
+// List returns all paths in lexical order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// targetSpan computes how many bytes of a [offset, offset+size) write land on
+// each storage target under chunked striping.
+func (fs *FS) targetSpan(offset, size int64) []int64 {
+	out := make([]int64, fs.cfg.StorageTargets)
+	cs := int64(fs.cfg.ChunkSize)
+	for pos := offset; pos < offset+size; {
+		chunk := pos / cs
+		end := (chunk + 1) * cs
+		if end > offset+size {
+			end = offset + size
+		}
+		out[chunk%int64(fs.cfg.StorageTargets)] += end - pos
+		pos = end
+	}
+	return out
+}
+
+// Write stores data at the given offset, extending the file as needed, and
+// returns the virtual completion time. The transfer is striped: each target
+// receives its chunks over the fabric and then commits them to disk; the
+// write completes when the slowest target is done.
+func (fs *FS) Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
+	if offset < 0 {
+		return 0, fmt.Errorf("beegfs: negative offset %d", offset)
+	}
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("beegfs: %s: no such file", path)
+	}
+	newEnd := offset + int64(len(data))
+	grow := newEnd - int64(len(f.data))
+	if grow > 0 {
+		if fs.used+grow > fs.cfg.CapacityBytes {
+			fs.mu.Unlock()
+			return 0, fmt.Errorf("beegfs: file system full (%d + %d > %d)", fs.used, grow, fs.cfg.CapacityBytes)
+		}
+		f.data = append(f.data, make([]byte, grow)...)
+		fs.used += grow
+	}
+	copy(f.data[offset:], data)
+	fs.mu.Unlock()
+
+	done := ready
+	for t, bytes := range fs.targetSpan(offset, int64(len(data))) {
+		if bytes == 0 {
+			continue
+		}
+		arrive := fs.net.RDMAWrite(node, fs.targetEPs[t], int(bytes), ready)
+		_, end := fs.targetQs[t].Reserve(arrive, vclock.Time(float64(bytes)/(fs.cfg.TargetGBs*1e9)))
+		done = vclock.Max(done, end)
+	}
+	return done, nil
+}
+
+// Read returns size bytes from the given offset and the completion time:
+// each target reads its chunks from disk and ships them over the fabric.
+func (fs *FS) Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.Unlock()
+		return nil, 0, fmt.Errorf("beegfs: %s: no such file", path)
+	}
+	if offset < 0 || offset+size > int64(len(f.data)) {
+		fs.mu.Unlock()
+		return nil, 0, fmt.Errorf("beegfs: read [%d,%d) beyond EOF %d of %s", offset, offset+size, len(f.data), path)
+	}
+	out := append([]byte(nil), f.data[offset:offset+size]...)
+	fs.mu.Unlock()
+
+	done := ready
+	for t, bytes := range fs.targetSpan(offset, size) {
+		if bytes == 0 {
+			continue
+		}
+		_, diskEnd := fs.targetQs[t].Reserve(ready, vclock.Time(float64(bytes)/(fs.cfg.TargetGBs*1e9)))
+		arrive := fs.net.RDMARead(node, fs.targetEPs[t], int(bytes), diskEnd)
+		done = vclock.Max(done, arrive)
+	}
+	return out, done, nil
+}

@@ -1,0 +1,267 @@
+package beegfs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/vclock"
+)
+
+func testFS(cfg Config) (*FS, *machine.System) {
+	sys := machine.New(4, 2)
+	net := fabric.New(sys, fabric.Config{})
+	return New(net, cfg), sys
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	fs.Create("/out/data.bin", n, 0)
+	payload := bytes.Repeat([]byte("deep-er!"), 1000)
+	done, err := fs.Write("/out/data.bin", 0, payload, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rdone, err := fs.Read("/out/data.bin", 0, int64(len(payload)), n, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read back differs from written data")
+	}
+	if rdone <= done {
+		t.Fatal("read completed before it started")
+	}
+}
+
+func TestWriteAtOffsetExtends(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	fs.Create("/f", n, 0)
+	fs.Write("/f", 10, []byte("abc"), n, 0)
+	size, err := fs.Size("/f")
+	if err != nil || size != 13 {
+		t.Fatalf("size = %d (%v), want 13", size, err)
+	}
+	got, _, _ := fs.Read("/f", 0, 13, n, 0)
+	if got[0] != 0 || string(got[10:]) != "abc" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	if _, err := fs.Write("/nope", 0, []byte("x"), n, 0); err == nil {
+		t.Error("write to missing file succeeded")
+	}
+	if _, _, err := fs.Read("/nope", 0, 1, n, 0); err == nil {
+		t.Error("read of missing file succeeded")
+	}
+	if _, err := fs.Size("/nope"); err == nil {
+		t.Error("stat of missing file succeeded")
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	fs.Create("/f", n, 0)
+	fs.Write("/f", 0, []byte("abc"), n, 0)
+	if _, _, err := fs.Read("/f", 0, 10, n, 0); err == nil {
+		t.Error("read beyond EOF succeeded")
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	fs.Create("/f", n, 0)
+	fs.Write("/f", 0, make([]byte, 1000), n, 0)
+	if fs.Used() != 1000 {
+		t.Fatalf("used = %d", fs.Used())
+	}
+	fs.Delete("/f", n, 0)
+	if fs.Used() != 0 || fs.Exists("/f") {
+		t.Fatal("delete did not free")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	fs, sys := testFS(Config{CapacityBytes: 1000})
+	n := sys.Node(0)
+	fs.Create("/f", n, 0)
+	if _, err := fs.Write("/f", 0, make([]byte, 2000), n, 0); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestStripingUsesBothTargets(t *testing.T) {
+	// A two-chunk write must land one chunk on each target; its time should
+	// be roughly one chunk per target, not two chunks on one.
+	cfg := Config{ChunkSize: 1 << 20}
+	fs, sys := testFS(cfg)
+	n := sys.Node(0)
+	fs.Create("/big", n, 0)
+	twoChunks := make([]byte, 2<<20)
+	done, err := fs.Write("/big", 0, twoChunks, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perChunkDisk := float64(1<<20) / (fs.Config().TargetGBs * 1e9)
+	// Both chunks cross the client's injection link serially (~2 net times),
+	// then hit different disks in parallel: total ≪ 2 disk times + 2 net.
+	netTime := float64(2<<20) / (12.5 * 0.88 * 1e9)
+	budget := perChunkDisk + 2*netTime + 0.001
+	if done.Seconds() > budget {
+		t.Errorf("striped write took %vs, want < %vs (parallel targets)", done.Seconds(), budget)
+	}
+}
+
+func TestTargetSpan(t *testing.T) {
+	fs, _ := testFS(Config{ChunkSize: 100, StorageTargets: 2})
+	span := fs.targetSpan(50, 200) // covers chunks 0(50B),1(100B),2(50B)
+	if span[0] != 100 || span[1] != 100 {
+		t.Errorf("span = %v, want [100 100]", span)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	fs.Create("/b", n, 0)
+	fs.Create("/a", n, 0)
+	got := fs.List()
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("list = %v", got)
+	}
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	fs, sys := testFS(Config{ChunkSize: 64})
+	n := sys.Node(0)
+	fs.Create("/q", n, 0)
+	f := func(off uint16, data []byte) bool {
+		if _, err := fs.Write("/q", int64(off), data, n, 0); err != nil {
+			return false
+		}
+		got, _, err := fs.Read("/q", int64(off), int64(len(data)), n, 0)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- cache domain tests ---
+
+func cacheSetup(mode CacheMode) (*Cache, *machine.System) {
+	sys := machine.New(4, 2)
+	net := fabric.New(sys, fabric.Config{})
+	fs := New(net, Config{})
+	devs := map[int]*nvme.Device{}
+	for _, n := range sys.Nodes() {
+		devs[n.ID] = nvme.New(nvme.P3700())
+	}
+	return NewCache(fs, mode, devs), sys
+}
+
+func TestCacheAsyncFasterThanSync(t *testing.T) {
+	// The point of the cache domain: async writes return at NVMe speed.
+	data := make([]byte, 64<<20)
+	ca, sysA := cacheSetup(CacheAsync)
+	doneA, err := ca.Write("/ckpt", data, sysA.Node(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, sysS := cacheSetup(CacheSync)
+	doneS, err := cs.Write("/ckpt", data, sysS.Node(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneA >= doneS {
+		t.Errorf("async write (%v) not faster than sync (%v)", doneA, doneS)
+	}
+}
+
+func TestCacheDrainCoversFlush(t *testing.T) {
+	c, sys := cacheSetup(CacheAsync)
+	data := make([]byte, 64<<20)
+	localDone, _ := c.Write("/a", data, sys.Node(0), 0)
+	drained := c.Drain(localDone)
+	if drained <= localDone {
+		t.Errorf("drain (%v) not after local completion (%v)", drained, localDone)
+	}
+	// After the drain the file must be in the global FS.
+	if !c.fs.Exists("/a") {
+		t.Error("flush did not reach the global FS")
+	}
+	sz, _ := c.fs.Size("/a")
+	if sz != int64(len(data)) {
+		t.Errorf("global copy has %d bytes, want %d", sz, len(data))
+	}
+}
+
+func TestCacheLocalReadFastPath(t *testing.T) {
+	c, sys := cacheSetup(CacheAsync)
+	data := bytes.Repeat([]byte("x"), 32<<20)
+	owner, other := sys.Node(0), sys.Node(1)
+	c.Write("/f", data, owner, 0)
+	_, tLocal, err := c.Read("/f", owner, vclock.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tRemote, err := c.Read("/f", other, vclock.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tLocal >= tRemote {
+		t.Errorf("local cached read (%v) not faster than global read (%v)", tLocal, tRemote)
+	}
+}
+
+func TestCacheContentRoundTrip(t *testing.T) {
+	c, sys := cacheSetup(CacheSync)
+	data := []byte("precious checkpoint bytes")
+	c.Write("/f", data, sys.Node(2), 0)
+	got, _, err := c.Read("/f", sys.Node(2), 0)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("cache read = %q (%v)", got, err)
+	}
+	got2, _, err := c.fs.Read("/f", 0, int64(len(data)), sys.Node(3), 0)
+	if err != nil || !bytes.Equal(got2, data) {
+		t.Fatalf("global read = %q (%v)", got2, err)
+	}
+}
+
+func TestCacheRejectsForeignNode(t *testing.T) {
+	sys := machine.New(2, 0)
+	net := fabric.New(sys, fabric.Config{})
+	fs := New(net, Config{})
+	devs := map[int]*nvme.Device{sys.Node(0).ID: nvme.New(nvme.P3700())}
+	c := NewCache(fs, CacheAsync, devs)
+	if _, err := c.Write("/f", []byte("x"), sys.Node(1), 0); err == nil {
+		t.Error("write from node outside the cache domain succeeded")
+	}
+}
+
+func TestCacheEvictFreesNVMe(t *testing.T) {
+	c, sys := cacheSetup(CacheAsync)
+	c.Write("/f", make([]byte, 1000), sys.Node(0), 0)
+	dev := c.devs[sys.Node(0).ID]
+	if dev.Used() == 0 {
+		t.Fatal("cache write did not use NVMe")
+	}
+	c.Evict("/f")
+	if dev.Used() != 0 {
+		t.Error("evict did not free NVMe space")
+	}
+	if math.Abs(float64(dev.Used())) > 0 {
+		t.Error("nvme not empty")
+	}
+}

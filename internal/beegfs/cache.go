@@ -1,0 +1,163 @@
+package beegfs
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/vclock"
+)
+
+// CacheMode selects how the BeeOND cache domain propagates data to the
+// global file system (§III-C: "can be used in a synchronous or asynchronous
+// mode").
+type CacheMode int
+
+const (
+	// CacheAsync returns after the local NVMe write; a background daemon
+	// drains to the global FS, and Drain waits for it.
+	CacheAsync CacheMode = iota
+	// CacheSync writes through: the call returns when the data is in the
+	// global file system.
+	CacheSync
+)
+
+// String names the cache mode.
+func (m CacheMode) String() string {
+	if m == CacheSync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Cache is a BeeOND cache domain: a transient file-system layer over the
+// node-local NVMe devices of a job's nodes, in front of a global FS.
+type Cache struct {
+	fs   *FS
+	mode CacheMode
+
+	mu      sync.Mutex
+	devs    map[int]*nvme.Device // node ID → device
+	content map[string][]byte
+	owner   map[string]*machine.Node
+	pending map[string]vclock.Time // path → global-FS flush completion
+}
+
+// NewCache builds a cache domain in the given mode over the node set; each
+// node contributes its NVMe device.
+func NewCache(fs *FS, mode CacheMode, devs map[int]*nvme.Device) *Cache {
+	return &Cache{
+		fs:      fs,
+		mode:    mode,
+		devs:    devs,
+		content: map[string][]byte{},
+		owner:   map[string]*machine.Node{},
+		pending: map[string]vclock.Time{},
+	}
+}
+
+// Mode returns the cache mode.
+func (c *Cache) Mode() CacheMode { return c.mode }
+
+// Write stores a whole file into the cache domain from the given node. In
+// async mode it returns once the local NVMe has the data and schedules the
+// flush; in sync mode it returns when the global FS has it.
+func (c *Cache) Write(path string, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
+	dev, ok := c.devByNode(node)
+	if !ok {
+		return 0, fmt.Errorf("beegfs: node %s is not part of the cache domain", node.Name())
+	}
+	localDone, err := dev.Put("beeond:"+path, int64(len(data)), ready)
+	if err != nil {
+		return 0, fmt.Errorf("beegfs: cache write: %w", err)
+	}
+	c.mu.Lock()
+	c.content[path] = append([]byte(nil), data...)
+	c.owner[path] = node
+	c.mu.Unlock()
+
+	// The flush daemon starts as soon as the data is local.
+	flushDone, err := c.flush(path, localDone)
+	if err != nil {
+		return 0, err
+	}
+	if c.mode == CacheSync {
+		return flushDone, nil
+	}
+	return localDone, nil
+}
+
+func (c *Cache) devByNode(node *machine.Node) (*nvme.Device, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devs[node.ID]
+	return d, ok
+}
+
+// flush moves a cached file to the global FS, recording its completion.
+func (c *Cache) flush(path string, ready vclock.Time) (vclock.Time, error) {
+	c.mu.Lock()
+	data := c.content[path]
+	node := c.owner[path]
+	c.mu.Unlock()
+	c.fs.Create(path, node, ready)
+	done, err := c.fs.Write(path, 0, data, node, ready)
+	if err != nil {
+		return 0, fmt.Errorf("beegfs: cache flush of %s: %w", path, err)
+	}
+	c.mu.Lock()
+	c.pending[path] = done
+	c.mu.Unlock()
+	return done, nil
+}
+
+// Read serves a file from the cache if the reading node holds it locally
+// (fast path: NVMe), otherwise from the global FS.
+func (c *Cache) Read(path string, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
+	c.mu.Lock()
+	data, cached := c.content[path]
+	owner := c.owner[path]
+	c.mu.Unlock()
+	if cached && owner.ID == node.ID {
+		dev, _ := c.devByNode(node)
+		_, done, err := dev.Get("beeond:"+path, ready)
+		if err == nil {
+			return append([]byte(nil), data...), done, nil
+		}
+	}
+	return c.fs.Read(path, 0, int64(sizeOf(c, path)), node, ready)
+}
+
+func sizeOf(c *Cache, path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.content[path])
+}
+
+// Drain waits for all scheduled flushes: the returned time is when every
+// cached file is safely in the global file system (the async mode's sync
+// point, e.g. at job end).
+func (c *Cache) Drain(ready vclock.Time) vclock.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done := ready
+	for _, t := range c.pending {
+		done = vclock.Max(done, t)
+	}
+	return done
+}
+
+// Evict drops a file from the cache layer (it remains in the global FS) and
+// frees the NVMe space.
+func (c *Cache) Evict(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node, ok := c.owner[path]; ok {
+		if dev, ok := c.devs[node.ID]; ok {
+			dev.Delete("beeond:" + path)
+		}
+	}
+	delete(c.content, path)
+	delete(c.owner, path)
+}

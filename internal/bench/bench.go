@@ -1,0 +1,227 @@
+// Package bench is the experiment harness: for every table and figure of the
+// paper's evaluation it provides a generator that runs the corresponding
+// workload on a simulated system and returns the same rows/series the paper
+// reports, plus renderers that print them next to the paper's reference
+// values (recorded in paper.go).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+	"clusterbooster/internal/xpic"
+)
+
+// Table1Row is one row of Table I (hardware configuration).
+type Table1Row struct {
+	Feature string
+	Cluster string
+	Booster string
+}
+
+// Table1 reproduces Table I from the machine and fabric models.
+func Table1() []Table1Row {
+	c, b := machine.ClusterNode(), machine.BoosterNode()
+	sys := machine.Prototype()
+	gb := func(v int64) string { return fmt.Sprintf("%d GB", v>>30) }
+	return []Table1Row{
+		{"Processor", c.Processor, b.Processor},
+		{"Microarchitecture", c.Arch.String(), b.Arch.String()},
+		{"Sockets per node", fmt.Sprint(c.Sockets), fmt.Sprint(b.Sockets)},
+		{"Cores per node", fmt.Sprint(c.Cores), fmt.Sprint(b.Cores)},
+		{"Threads per node", fmt.Sprint(c.Threads), fmt.Sprint(b.Threads)},
+		{"Frequency", fmt.Sprintf("%.1f GHz", c.FreqGHz), fmt.Sprintf("%.1f GHz", b.FreqGHz)},
+		{"Memory (RAM)", gb(c.RAMBytes), fmt.Sprintf("%s MCDRAM + %s DDR4", gb(b.MCDRAMBytes), gb(b.RAMBytes))},
+		{"NVMe capacity", "400 GB", "400 GB"},
+		{"Interconnect", "EXTOLL Tourmalet A3", "EXTOLL Tourmalet A3"},
+		{"Max. link bandwidth", fmt.Sprintf("%.0f Gbit/s", c.LinkGbits), fmt.Sprintf("%.0f Gbit/s", b.LinkGbits)},
+		{"MPI latency", c.MPIBaseLatency.String(), b.MPIBaseLatency.String()},
+		{"Node count", fmt.Sprint(machine.PrototypeNodeCount(machine.Cluster)), fmt.Sprint(machine.PrototypeNodeCount(machine.Booster))},
+		{"Peak performance", fmt.Sprintf("%.0f TFlop/s", sys.TotalPeakTFlops(machine.Cluster)), fmt.Sprintf("%.0f TFlop/s", sys.TotalPeakTFlops(machine.Booster))},
+	}
+}
+
+// RenderTable1 renders Table I as text.
+func RenderTable1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: Hardware configuration of the DEEP-ER prototype\n")
+	fmt.Fprintf(&sb, "%-22s | %-24s | %-28s\n", "Feature", "Cluster", "Booster")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 80))
+	for _, r := range Table1() {
+		fmt.Fprintf(&sb, "%-22s | %-24s | %-28s\n", r.Feature, r.Cluster, r.Booster)
+	}
+	return sb.String()
+}
+
+// Table2 renders the experiment setup (Table II) for a config.
+func Table2(cfg xpic.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table II: xPic experiment setup\n")
+	fmt.Fprintf(&sb, "%-34s %d (grid %dx%d)\n", "Number of cells per node", cfg.Cells(), cfg.NX, cfg.NY)
+	fmt.Fprintf(&sb, "%-34s %d\n", "Number of particles per cell", cfg.PPC)
+	fmt.Fprintf(&sb, "%-34s %s\n", "Compilation flags", "-openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)")
+	fmt.Fprintf(&sb, "%-34s %d\n", "Time steps", cfg.Steps)
+	fmt.Fprintf(&sb, "%-34s %d\n", "Species", len(cfg.Species))
+	return sb.String()
+}
+
+// Fig7Result holds the three single-node scenarios of Fig. 7.
+type Fig7Result struct {
+	Cluster xpic.Report
+	Booster xpic.Report
+	Split   xpic.Report
+}
+
+// FieldAdvantage returns how much faster the field solver is on the Cluster.
+func (r Fig7Result) FieldAdvantage() float64 {
+	return r.Booster.FieldTime.Seconds() / r.Cluster.FieldTime.Seconds()
+}
+
+// ParticleAdvantage returns how much faster the particle solver is on the
+// Booster.
+func (r Fig7Result) ParticleAdvantage() float64 {
+	return r.Cluster.ParticleTime.Seconds() / r.Booster.ParticleTime.Seconds()
+}
+
+// GainVsCluster returns the C+B speed-up over Cluster-only.
+func (r Fig7Result) GainVsCluster() float64 {
+	return r.Cluster.Makespan.Seconds() / r.Split.Makespan.Seconds()
+}
+
+// GainVsBooster returns the C+B speed-up over Booster-only.
+func (r Fig7Result) GainVsBooster() float64 {
+	return r.Booster.Makespan.Seconds() / r.Split.Makespan.Seconds()
+}
+
+// Fig7 runs the three scenarios of Fig. 7 on single nodes per solver. Each
+// scenario boots a fresh system (independent fabric state), as consecutive
+// batch jobs on the prototype would see.
+func Fig7(cfg xpic.Config) (Fig7Result, error) {
+	var out Fig7Result
+	var err error
+	if out.Cluster, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicCluster(1, cfg); err != nil {
+		return out, fmt.Errorf("bench: fig7 cluster scenario: %w", err)
+	}
+	if out.Booster, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicBooster(1, cfg); err != nil {
+		return out, fmt.Errorf("bench: fig7 booster scenario: %w", err)
+	}
+	if out.Split, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicSplit(1, cfg); err != nil {
+		return out, fmt.Errorf("bench: fig7 C+B scenario: %w", err)
+	}
+	return out, nil
+}
+
+// RenderFig7 renders the Fig. 7 bars and derived ratios next to the paper's.
+func RenderFig7(r Fig7Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 7: xPic runtime on one node per solver [s]\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s\n", "", "Fields", "Particles", "Total")
+	for _, rep := range []xpic.Report{r.Cluster, r.Booster, r.Split} {
+		fmt.Fprintf(&sb, "%-10s %10.2f %10.2f %10.2f\n",
+			rep.Mode, rep.FieldTime.Seconds(), rep.ParticleTime.Seconds(), rep.Makespan.Seconds())
+	}
+	fmt.Fprintf(&sb, "\n%-34s %8s %8s\n", "Derived quantity", "ours", "paper")
+	fmt.Fprintf(&sb, "%-34s %8.2f %8.2f\n", "Field solver: Cluster advantage", r.FieldAdvantage(), PaperFig7.FieldAdvantage)
+	fmt.Fprintf(&sb, "%-34s %8.2f %8.2f\n", "Particle solver: Booster advantage", r.ParticleAdvantage(), PaperFig7.ParticleAdvantage)
+	fmt.Fprintf(&sb, "%-34s %8.2f %8.2f\n", "C+B gain vs Cluster", r.GainVsCluster(), PaperFig7.GainVsCluster)
+	fmt.Fprintf(&sb, "%-34s %8.2f %8.2f\n", "C+B gain vs Booster", r.GainVsBooster(), PaperFig7.GainVsBooster)
+	fmt.Fprintf(&sb, "%-34s %7.1f%% %8s\n", "Coupling overhead (C+B)", 100*r.Split.OverheadFraction(), "3-4%")
+	return sb.String()
+}
+
+// Fig8Point is one x-axis position of Fig. 8.
+type Fig8Point struct {
+	Nodes   int
+	Cluster xpic.Report
+	Booster xpic.Report
+	Split   xpic.Report
+}
+
+// Fig8Result is the full scaling series.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// Fig8 runs the strong-scaling study of Fig. 8: the Table II problem on
+// 1..maxNodes nodes per solver (powers of two), in all three modes.
+func Fig8(cfg xpic.Config, nodeCounts []int) (Fig8Result, error) {
+	var out Fig8Result
+	for _, n := range nodeCounts {
+		pt := Fig8Point{Nodes: n}
+		var err error
+		if pt.Cluster, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicCluster(n, cfg); err != nil {
+			return out, fmt.Errorf("bench: fig8 cluster n=%d: %w", n, err)
+		}
+		if pt.Booster, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicBooster(n, cfg); err != nil {
+			return out, fmt.Errorf("bench: fig8 booster n=%d: %w", n, err)
+		}
+		if pt.Split, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicSplit(n, cfg); err != nil {
+			return out, fmt.Errorf("bench: fig8 C+B n=%d: %w", n, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Efficiency returns the parallel efficiency of a mode at point i relative
+// to the 1-node point: T(1) / (N · T(N)).
+func (r Fig8Result) Efficiency(mode xpic.Mode, i int) float64 {
+	t1 := r.report(mode, 0).Makespan.Seconds()
+	pt := r.Points[i]
+	tn := r.report(mode, i).Makespan.Seconds()
+	return t1 / (float64(pt.Nodes) * tn)
+}
+
+func (r Fig8Result) report(mode xpic.Mode, i int) xpic.Report {
+	switch mode {
+	case xpic.ClusterOnly:
+		return r.Points[i].Cluster
+	case xpic.BoosterOnly:
+		return r.Points[i].Booster
+	default:
+		return r.Points[i].Split
+	}
+}
+
+// GainVsCluster returns the C+B speed-up over Cluster-only at point i.
+func (r Fig8Result) GainVsCluster(i int) float64 {
+	return r.Points[i].Cluster.Makespan.Seconds() / r.Points[i].Split.Makespan.Seconds()
+}
+
+// GainVsBooster returns the C+B speed-up over Booster-only at point i.
+func (r Fig8Result) GainVsBooster(i int) float64 {
+	return r.Points[i].Booster.Makespan.Seconds() / r.Points[i].Split.Makespan.Seconds()
+}
+
+// RenderFig8 renders the scaling plot data (runtime and efficiency).
+func RenderFig8(r Fig8Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 8: xPic strong scaling (runtime [s] and parallel efficiency)\n")
+	fmt.Fprintf(&sb, "%-6s | %9s %9s %9s | %7s %7s %7s | %8s %8s\n",
+		"Nodes", "Cluster", "Booster", "C+B", "eff(C)", "eff(B)", "eff(C+B)", "C+B/C", "C+B/B")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 96))
+	for i, pt := range r.Points {
+		fmt.Fprintf(&sb, "%-6d | %9.2f %9.2f %9.2f | %6.1f%% %6.1f%% %6.1f%% | %8.2f %8.2f\n",
+			pt.Nodes,
+			pt.Cluster.Makespan.Seconds(), pt.Booster.Makespan.Seconds(), pt.Split.Makespan.Seconds(),
+			100*r.Efficiency(xpic.ClusterOnly, i), 100*r.Efficiency(xpic.BoosterOnly, i),
+			100*r.Efficiency(xpic.SplitCB, i),
+			r.GainVsCluster(i), r.GainVsBooster(i))
+	}
+	last := len(r.Points) - 1
+	fmt.Fprintf(&sb, "\n%-40s %8s %8s\n", "At the largest scale", "ours", "paper")
+	fmt.Fprintf(&sb, "%-40s %8.2f %8.2f\n", "C+B gain vs Cluster", r.GainVsCluster(last), PaperFig8.GainVsCluster)
+	fmt.Fprintf(&sb, "%-40s %8.2f %8.2f\n", "C+B gain vs Booster", r.GainVsBooster(last), PaperFig8.GainVsBooster)
+	fmt.Fprintf(&sb, "%-40s %7.1f%% %7.1f%%\n", "Parallel efficiency C+B", 100*r.Efficiency(xpic.SplitCB, last), 100*PaperFig8.EffSplit)
+	fmt.Fprintf(&sb, "%-40s %7.1f%% %7.1f%%\n", "Parallel efficiency Cluster", 100*r.Efficiency(xpic.ClusterOnly, last), 100*PaperFig8.EffCluster)
+	fmt.Fprintf(&sb, "%-40s %7.1f%% %7.1f%%\n", "Parallel efficiency Booster", 100*r.Efficiency(xpic.BoosterOnly, last), 100*PaperFig8.EffBooster)
+	return sb.String()
+}
+
+// helper shared with fig3.go
+func mbs(bytesPerSecond float64) float64 { return bytesPerSecond / 1e6 }
+
+func us(t vclock.Time) float64 { return t.Micros() }

@@ -1,0 +1,145 @@
+// Package core assembles the Cluster-Booster system — the paper's primary
+// contribution (§II): a general-purpose Cluster and a many-core Booster,
+// each a stand-alone cluster of nodes, joined by one uniform EXTOLL-like
+// fabric and operated as a single machine by a uniform software stack
+// (ParaStation-like MPI with cross-module spawn, module-aware resource
+// management, parallel file system over fabric-attached storage, node-local
+// NVMe and network-attached memory).
+//
+// A core.System is the "machine" every experiment and example boots:
+//
+//	sys := core.Prototype()          // the DEEP-ER machine: 16 CN + 8 BN
+//	rep, err := sys.RunXPicSplit(8, xpic.Table2Config())
+package core
+
+import (
+	"fmt"
+
+	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nam"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/sched"
+	"clusterbooster/internal/xpic"
+)
+
+// Options tunes system construction. The zero value selects the DEEP-ER
+// prototype parameters everywhere.
+type Options struct {
+	Fabric fabric.Config
+	MPI    psmpi.Config
+	FS     beegfs.Config
+	// WithoutStorage skips BeeGFS, NVMe and NAM construction for
+	// compute-only experiments.
+	WithoutStorage bool
+}
+
+// System is a booted Cluster-Booster machine.
+type System struct {
+	Machine   *machine.System
+	Network   *fabric.Network
+	Runtime   *psmpi.Runtime
+	Scheduler *sched.Manager
+
+	// Storage stack (nil/empty if Options.WithoutStorage).
+	FS   *beegfs.FS
+	NVMe map[int]*nvme.Device // node ID → device
+	NAM  []*nam.Device
+}
+
+// New builds a system with the given node counts per module.
+func New(clusterNodes, boosterNodes int, opts Options) *System {
+	ms := machine.New(clusterNodes, boosterNodes)
+	net := fabric.New(ms, opts.Fabric)
+	rt := psmpi.NewRuntime(ms, net, opts.MPI)
+	mgr := sched.NewManager(ms)
+	rt.SetPlacement(mgr)
+	s := &System{
+		Machine:   ms,
+		Network:   net,
+		Runtime:   rt,
+		Scheduler: mgr,
+	}
+	if !opts.WithoutStorage {
+		s.FS = beegfs.New(net, opts.FS)
+		s.NVMe = map[int]*nvme.Device{}
+		for _, n := range ms.Nodes() {
+			s.NVMe[n.ID] = nvme.New(nvme.P3700())
+		}
+		pair := nam.NewPrototypePair(net)
+		s.NAM = pair[:]
+	}
+	return s
+}
+
+// Prototype builds the DEEP-ER prototype (Table I): 16 Cluster nodes,
+// 8 Booster nodes, full storage stack.
+func Prototype() *System { return New(16, 8, Options{}) }
+
+// ClusterNodes returns the first n Cluster nodes.
+func (s *System) ClusterNodes(n int) ([]*machine.Node, error) {
+	pool := s.Machine.Module(machine.Cluster)
+	if n > len(pool) {
+		return nil, fmt.Errorf("core: %d cluster nodes requested, system has %d", n, len(pool))
+	}
+	return pool[:n], nil
+}
+
+// BoosterNodes returns the first n Booster nodes.
+func (s *System) BoosterNodes(n int) ([]*machine.Node, error) {
+	pool := s.Machine.Module(machine.Booster)
+	if n > len(pool) {
+		return nil, fmt.Errorf("core: %d booster nodes requested, system has %d", n, len(pool))
+	}
+	return pool[:n], nil
+}
+
+// RunXPicCluster runs xPic entirely on n Cluster nodes (the "Cluster"
+// scenario of §IV-C).
+func (s *System) RunXPicCluster(n int, cfg xpic.Config) (xpic.Report, error) {
+	nodes, err := s.ClusterNodes(n)
+	if err != nil {
+		return xpic.Report{}, err
+	}
+	return xpic.RunMono(s.Runtime, nodes, cfg)
+}
+
+// RunXPicBooster runs xPic entirely on n Booster nodes (the "Booster"
+// scenario).
+func (s *System) RunXPicBooster(n int, cfg xpic.Config) (xpic.Report, error) {
+	nodes, err := s.BoosterNodes(n)
+	if err != nil {
+		return xpic.Report{}, err
+	}
+	return xpic.RunMono(s.Runtime, nodes, cfg)
+}
+
+// RunXPicSplit runs xPic in Cluster-Booster mode with n nodes per solver:
+// the particle solver on n Booster nodes, which spawns the field solver onto
+// n Cluster nodes (the "C+B" scenario).
+func (s *System) RunXPicSplit(n int, cfg xpic.Config) (xpic.Report, error) {
+	bn, err := s.BoosterNodes(n)
+	if err != nil {
+		return xpic.Report{}, err
+	}
+	if _, err := s.ClusterNodes(n); err != nil {
+		return xpic.Report{}, err
+	}
+	return xpic.RunSplit(s.Runtime, bn, n, cfg)
+}
+
+// RunXPic dispatches on the mode.
+func (s *System) RunXPic(mode xpic.Mode, n int, cfg xpic.Config) (xpic.Report, error) {
+	switch mode {
+	case xpic.ClusterOnly:
+		return s.RunXPicCluster(n, cfg)
+	case xpic.BoosterOnly:
+		return s.RunXPicBooster(n, cfg)
+	case xpic.SplitCB:
+		return s.RunXPicSplit(n, cfg)
+	default:
+		return xpic.Report{}, fmt.Errorf("core: unknown mode %v", mode)
+	}
+}

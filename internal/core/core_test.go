@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/xpic"
+)
+
+func TestPrototypeLayout(t *testing.T) {
+	s := Prototype()
+	if s.Machine.NodeCount(machine.Cluster) != 16 || s.Machine.NodeCount(machine.Booster) != 8 {
+		t.Fatalf("prototype has %d/%d nodes", s.Machine.NodeCount(machine.Cluster), s.Machine.NodeCount(machine.Booster))
+	}
+	if s.FS == nil || len(s.NVMe) != 24 || len(s.NAM) != 2 {
+		t.Fatalf("storage stack incomplete: fs=%v nvme=%d nam=%d", s.FS != nil, len(s.NVMe), len(s.NAM))
+	}
+	if s.Scheduler == nil || s.Runtime == nil || s.Network == nil {
+		t.Fatal("core services missing")
+	}
+}
+
+func TestWithoutStorage(t *testing.T) {
+	s := New(2, 2, Options{WithoutStorage: true})
+	if s.FS != nil || s.NVMe != nil || s.NAM != nil {
+		t.Fatal("storage built despite WithoutStorage")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	s := New(4, 2, Options{WithoutStorage: true})
+	cn, err := s.ClusterNodes(4)
+	if err != nil || len(cn) != 4 {
+		t.Fatalf("cluster nodes: %v", err)
+	}
+	if _, err := s.ClusterNodes(5); err == nil {
+		t.Fatal("overcommitted cluster request accepted")
+	}
+	bn, err := s.BoosterNodes(2)
+	if err != nil || bn[0].Module != machine.Booster {
+		t.Fatalf("booster nodes: %v", err)
+	}
+	if _, err := s.BoosterNodes(3); err == nil {
+		t.Fatal("overcommitted booster request accepted")
+	}
+}
+
+func TestSpawnUsesScheduler(t *testing.T) {
+	// The runtime's placement must be wired to the resource manager: an
+	// allocation occupying booster nodes steers spawns to the free ones.
+	s := New(2, 3, Options{WithoutStorage: true})
+	if _, err := s.Scheduler.Alloc(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Runtime.Register("probe", func(p *psmpi.Proc) error {
+		if p.Node().Index < 2 {
+			t.Errorf("spawn landed on busy node %s", p.Node().Name())
+		}
+		return nil
+	})
+	nodes, _ := s.ClusterNodes(1)
+	_, err := s.Runtime.Launch(psmpi.LaunchSpec{Nodes: nodes, Main: func(p *psmpi.Proc) error {
+		_, err := p.Spawn(p.World(), psmpi.SpawnSpec{Binary: "probe", Procs: 1, Module: machine.Booster})
+		return err
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunXPicAllModes(t *testing.T) {
+	cfg := xpic.QuickConfig(4)
+	for _, mode := range []xpic.Mode{xpic.ClusterOnly, xpic.BoosterOnly, xpic.SplitCB} {
+		s := New(2, 2, Options{WithoutStorage: true})
+		rep, err := s.RunXPic(mode, 2, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if rep.Mode != mode || rep.Makespan <= 0 {
+			t.Errorf("%v: report %+v", mode, rep)
+		}
+	}
+}
+
+func TestRunXPicSplitNeedsBothModules(t *testing.T) {
+	s := New(1, 2, Options{WithoutStorage: true})
+	if _, err := s.RunXPicSplit(2, xpic.QuickConfig(2)); err == nil {
+		t.Fatal("split with too few cluster nodes accepted")
+	}
+}

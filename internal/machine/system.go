@@ -1,0 +1,118 @@
+package machine
+
+import "fmt"
+
+// Pool describes one module's node pool for multi-module systems (the
+// Modular Supercomputing generalisation of §VI: "any number of compute
+// modules ... each a cluster of a potentially large size, tailored to the
+// specific needs of a class of applications").
+type Pool struct {
+	Module Module
+	Name   string
+	Spec   NodeSpec
+	Count  int
+}
+
+// System is the hardware inventory of a modular machine: one or more pools
+// of nodes joined by the fabric into one system. The DEEP-ER prototype is
+// the two-pool instance New(16, 8).
+type System struct {
+	order []Module
+	pools map[Module][]*Node
+	names map[Module]string
+	nodes []*Node // all nodes, indexed by global ID
+}
+
+// NewMulti builds a system from explicit module pools. Pool module ids must
+// be unique; counts must be non-negative.
+func NewMulti(pools []Pool) *System {
+	s := &System{pools: map[Module][]*Node{}, names: map[Module]string{}}
+	id := 0
+	for _, pl := range pools {
+		if pl.Count < 0 {
+			panic("machine: negative node count")
+		}
+		if _, dup := s.pools[pl.Module]; dup {
+			panic(fmt.Sprintf("machine: duplicate module id %d", int(pl.Module)))
+		}
+		name := pl.Name
+		if name == "" {
+			name = pl.Module.String()
+		}
+		s.order = append(s.order, pl.Module)
+		s.names[pl.Module] = name
+		prefix := namePrefix(pl.Module, name)
+		for i := 0; i < pl.Count; i++ {
+			n := &Node{ID: id, Index: i, Module: pl.Module, Spec: pl.Spec, prefix: prefix}
+			s.pools[pl.Module] = append(s.pools[pl.Module], n)
+			s.nodes = append(s.nodes, n)
+			id++
+		}
+	}
+	return s
+}
+
+// namePrefix derives the node-name prefix: the classic "cn"/"bn" for the
+// Cluster-Booster pair, the lowercase module initials otherwise.
+func namePrefix(m Module, name string) string {
+	switch m {
+	case Cluster:
+		return "cn"
+	case Booster:
+		return "bn"
+	}
+	if len(name) >= 2 {
+		return string(name[0]|0x20) + string(name[1]|0x20)
+	}
+	return "xx"
+}
+
+// New builds the classic two-module system with the given node counts,
+// using the DEEP-ER node specifications.
+func New(clusterNodes, boosterNodes int) *System {
+	return NewMulti([]Pool{
+		{Module: Cluster, Name: "Cluster", Spec: ClusterNode(), Count: clusterNodes},
+		{Module: Booster, Name: "Booster", Spec: BoosterNode(), Count: boosterNodes},
+	})
+}
+
+// Prototype builds the DEEP-ER prototype: 16 Cluster + 8 Booster nodes.
+func Prototype() *System { return New(16, 8) }
+
+// Nodes returns all nodes in global-ID order.
+func (s *System) Nodes() []*Node { return s.nodes }
+
+// Modules returns the module ids in declaration order.
+func (s *System) Modules() []Module { return s.order }
+
+// ModuleName returns the human-readable module name.
+func (s *System) ModuleName(m Module) string {
+	if name, ok := s.names[m]; ok {
+		return name
+	}
+	return m.String()
+}
+
+// Module returns the nodes of one module (nil if the module is absent).
+func (s *System) Module(m Module) []*Node { return s.pools[m] }
+
+// NodeCount returns the number of nodes in a module.
+func (s *System) NodeCount(m Module) int { return len(s.pools[m]) }
+
+// Node returns the node with the given global ID.
+func (s *System) Node(id int) *Node {
+	if id < 0 || id >= len(s.nodes) {
+		panic(fmt.Sprintf("machine: node id %d out of range [0,%d)", id, len(s.nodes)))
+	}
+	return s.nodes[id]
+}
+
+// TotalPeakTFlops sums nominal peak performance over a module, matching the
+// "Peak performance" row of Table I.
+func (s *System) TotalPeakTFlops(m Module) float64 {
+	var sum float64
+	for _, n := range s.Module(m) {
+		sum += n.Spec.PeakTFlops
+	}
+	return sum
+}

@@ -1,0 +1,275 @@
+// Package msa implements the Modular Supercomputing Architecture — the
+// generalisation of the Cluster-Booster concept that the paper's §VI
+// describes as the goal of the successor project DEEP-EST: "any number of
+// compute modules ... a high-speed interconnect between the modules and a
+// uniform software stack across them enables codes and work-flows to run
+// distributed over the whole machine".
+//
+// An msa.System composes arbitrary module pools (the classic Cluster and
+// Booster, plus e.g. a big-memory Data Analytics Module) over one fabric and
+// one resource manager, and Workflow runs multi-stage pipelines whose stages
+// are pinned to the module that suits them, connected by spawn
+// inter-communicators — the HPC + HPDA workflow scenario of DEEP-EST.
+package msa
+
+import (
+	"fmt"
+
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/sched"
+	"clusterbooster/internal/vclock"
+)
+
+// ModuleDef declares one module of a modular system.
+type ModuleDef struct {
+	Name  string
+	Spec  machine.NodeSpec
+	Count int
+}
+
+// System is a booted modular supercomputer.
+type System struct {
+	Machine   *machine.System
+	Network   *fabric.Network
+	Runtime   *psmpi.Runtime
+	Scheduler *sched.Manager
+
+	byName map[string]machine.Module
+}
+
+// New builds a modular system from the given module definitions, in order.
+// Module ids are assigned sequentially (0, 1, 2, …), so the first two can be
+// the classic Cluster and Booster.
+func New(defs []ModuleDef) (*System, error) {
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("msa: no modules")
+	}
+	pools := make([]machine.Pool, len(defs))
+	byName := map[string]machine.Module{}
+	for i, d := range defs {
+		if d.Name == "" {
+			return nil, fmt.Errorf("msa: module %d has no name", i)
+		}
+		if _, dup := byName[d.Name]; dup {
+			return nil, fmt.Errorf("msa: duplicate module name %q", d.Name)
+		}
+		m := machine.Module(i)
+		pools[i] = machine.Pool{Module: m, Name: d.Name, Spec: d.Spec, Count: d.Count}
+		byName[d.Name] = m
+	}
+	ms := machine.NewMulti(pools)
+	net := fabric.New(ms, fabric.Config{})
+	rt := psmpi.NewRuntime(ms, net, psmpi.Config{})
+	mgr := sched.NewManager(ms)
+	rt.SetPlacement(mgr)
+	return &System{
+		Machine:   ms,
+		Network:   net,
+		Runtime:   rt,
+		Scheduler: mgr,
+		byName:    byName,
+	}, nil
+}
+
+// DEEPEST builds a three-module prototype in the spirit of the DEEP-EST
+// plan (§VI: "a hardware prototype consisting of three modules ... HPC and
+// high performance data analytics workloads"): the classic Cluster and
+// Booster plus a Data Analytics Module.
+func DEEPEST() *System {
+	s, err := New([]ModuleDef{
+		{Name: "Cluster", Spec: machine.ClusterNode(), Count: 8},
+		{Name: "Booster", Spec: machine.BoosterNode(), Count: 8},
+		{Name: "DAM", Spec: DataAnalyticsNode(), Count: 4},
+	})
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	return s
+}
+
+// DataAnalyticsNode returns the big-memory node type of the Data Analytics
+// Module: fat Xeon nodes with very large memory for HPDA workloads.
+func DataAnalyticsNode() machine.NodeSpec {
+	spec := machine.ClusterNode()
+	spec.Processor = "Intel Xeon (big-memory DAM node)"
+	spec.Cores = 48
+	spec.Threads = 96
+	spec.RAMBytes = 2 << 40 // 2 TiB
+	spec.MemBWGBs = 180
+	spec.PeakTFlops = 1.9
+	return spec
+}
+
+// Module resolves a module by name.
+func (s *System) Module(name string) (machine.Module, error) {
+	m, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("msa: unknown module %q", name)
+	}
+	return m, nil
+}
+
+// ModuleNodes returns up to n nodes of a named module.
+func (s *System) ModuleNodes(name string, n int) ([]*machine.Node, error) {
+	m, err := s.Module(name)
+	if err != nil {
+		return nil, err
+	}
+	pool := s.Machine.Module(m)
+	if n > len(pool) {
+		return nil, fmt.Errorf("msa: module %q has %d nodes, %d requested", name, len(pool), n)
+	}
+	return pool[:n], nil
+}
+
+// Stage is one step of a modular workflow, pinned to a module.
+type Stage struct {
+	// Name identifies the stage.
+	Name string
+	// Module names the module the stage runs on.
+	Module string
+	// Procs is the number of ranks of the stage.
+	Procs int
+	// Work is the per-rank compute cost of one invocation.
+	Work machine.Work
+	// InBytes is the data each rank receives from the previous stage per
+	// invocation (stage 0 reads no input).
+	InBytes int
+}
+
+// WorkflowResult summarises a workflow execution.
+type WorkflowResult struct {
+	Makespan vclock.Time
+	// StageTimes reports each stage's busy time (max over its ranks).
+	StageTimes []vclock.Time
+}
+
+// RunWorkflow executes a linear multi-module pipeline for the given number
+// of iterations: stage 0 runs on its module and streams its output to stage
+// 1 on the next module, and so on — each stage on the hardware that suits it,
+// connected by spawn inter-communicators exactly like xPic's two solvers.
+//
+// The first stage's module hosts the root job; every further stage is
+// spawned from it (the paper's §III-A mechanism, generalised to N modules).
+func (s *System) RunWorkflow(stages []Stage, iterations int) (WorkflowResult, error) {
+	if len(stages) < 2 {
+		return WorkflowResult{}, fmt.Errorf("msa: a workflow needs at least 2 stages")
+	}
+	if iterations < 1 {
+		return WorkflowResult{}, fmt.Errorf("msa: %d iterations", iterations)
+	}
+	for i, st := range stages {
+		if _, err := s.Module(st.Module); err != nil {
+			return WorkflowResult{}, err
+		}
+		if st.Procs < 1 {
+			return WorkflowResult{}, fmt.Errorf("msa: stage %d has %d procs", i, st.Procs)
+		}
+	}
+
+	stageTimes := make([]vclock.Time, len(stages))
+	timesCh := make(chan struct {
+		idx int
+		t   vclock.Time
+	}, len(stages)*stages[0].Procs*4)
+
+	// Register stage binaries 1..n-1: each receives from its parent, works,
+	// and forwards to the next stage it spawned itself.
+	const tagData = 77
+	for i := 1; i < len(stages); i++ {
+		i := i
+		st := stages[i]
+		binary := fmt.Sprintf("msa_stage_%d_%p", i, &stageTimes)
+		s.Runtime.Register(binary, func(p *psmpi.Proc) error {
+			var next *psmpi.Comm
+			if i+1 < len(stages) {
+				nm, _ := s.Module(stages[i+1].Module)
+				var err error
+				next, err = p.Spawn(p.World(), psmpi.SpawnSpec{
+					Binary: fmt.Sprintf("msa_stage_%d_%p", i+1, &stageTimes),
+					Procs:  stages[i+1].Procs,
+					Module: nm,
+				})
+				if err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			src := p.Rank() % p.Parent().RemoteSize()
+			for it := 0; it < iterations; it++ {
+				p.Recv(p.Parent(), src, tagData)
+				p.Compute(st.Work)
+				if next != nil {
+					// Fan out: this rank feeds every child whose index maps
+					// to it (child % producers == rank).
+					for dst := p.Rank(); dst < next.RemoteSize(); dst += p.World().Size() {
+						p.Send(next, dst, tagData, nil, stages[i+1].InBytes)
+					}
+				}
+			}
+			timesCh <- struct {
+				idx int
+				t   vclock.Time
+			}{i, p.Now() - start}
+			return nil
+		})
+	}
+
+	pool := s.Machine.Module(mustModule(s, stages[0].Module))
+	if len(pool) == 0 {
+		return WorkflowResult{}, fmt.Errorf("msa: module %q has no nodes", stages[0].Module)
+	}
+	rootNodes := make([]*machine.Node, stages[0].Procs)
+	for i := range rootNodes {
+		rootNodes[i] = pool[i%len(pool)] // oversubscribe slots if needed
+	}
+
+	res, err := s.Runtime.Launch(psmpi.LaunchSpec{
+		Nodes: rootNodes,
+		Main: func(p *psmpi.Proc) error {
+			nm, _ := s.Module(stages[1].Module)
+			next, err := p.Spawn(p.World(), psmpi.SpawnSpec{
+				Binary: fmt.Sprintf("msa_stage_%d_%p", 1, &stageTimes),
+				Procs:  stages[1].Procs,
+				Module: nm,
+			})
+			if err != nil {
+				return err
+			}
+			start := p.Now()
+			for it := 0; it < iterations; it++ {
+				p.Compute(stages[0].Work)
+				for dst := p.Rank(); dst < next.RemoteSize(); dst += p.World().Size() {
+					p.Send(next, dst, tagData, nil, stages[1].InBytes)
+				}
+			}
+			timesCh <- struct {
+				idx int
+				t   vclock.Time
+			}{0, p.Now() - start}
+			return nil
+		},
+	})
+	if err != nil {
+		return WorkflowResult{}, err
+	}
+	close(timesCh)
+	for e := range timesCh {
+		stageTimes[e.idx] = vclock.Max(stageTimes[e.idx], e.t)
+	}
+	return WorkflowResult{Makespan: res.Makespan, StageTimes: stageTimes}, nil
+}
+
+func mustModule(s *System, name string) machine.Module {
+	m, _ := s.Module(name)
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

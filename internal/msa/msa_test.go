@@ -1,0 +1,162 @@
+package msa
+
+import (
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty module list accepted")
+	}
+	if _, err := New([]ModuleDef{{Name: "", Count: 1}}); err == nil {
+		t.Error("unnamed module accepted")
+	}
+	if _, err := New([]ModuleDef{
+		{Name: "A", Spec: machine.ClusterNode(), Count: 1},
+		{Name: "A", Spec: machine.BoosterNode(), Count: 1},
+	}); err == nil {
+		t.Error("duplicate module name accepted")
+	}
+}
+
+func TestDEEPESTThreeModules(t *testing.T) {
+	s := DEEPEST()
+	if got := len(s.Machine.Modules()); got != 3 {
+		t.Fatalf("%d modules, want 3", got)
+	}
+	dam, err := s.Module("DAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine.NodeCount(dam) != 4 {
+		t.Errorf("DAM has %d nodes", s.Machine.NodeCount(dam))
+	}
+	if s.Machine.ModuleName(dam) != "DAM" {
+		t.Errorf("module name %q", s.Machine.ModuleName(dam))
+	}
+	// DAM nodes carry the big-memory spec and distinct names.
+	n := s.Machine.Module(dam)[0]
+	if n.Spec.RAMBytes != 2<<40 {
+		t.Errorf("DAM RAM = %d", n.Spec.RAMBytes)
+	}
+	if n.Name() != "da00" {
+		t.Errorf("DAM node name %q", n.Name())
+	}
+	// Node IDs are dense across all three modules.
+	if len(s.Machine.Nodes()) != 20 {
+		t.Errorf("total nodes %d", len(s.Machine.Nodes()))
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	s := DEEPEST()
+	if _, err := s.Module("GPU"); err == nil {
+		t.Error("unknown module resolved")
+	}
+	if _, err := s.ModuleNodes("DAM", 99); err == nil {
+		t.Error("oversized node request accepted")
+	}
+	nodes, err := s.ModuleNodes("Booster", 3)
+	if err != nil || len(nodes) != 3 || nodes[0].Module != machine.Module(1) {
+		t.Errorf("booster nodes: %v %v", nodes, err)
+	}
+}
+
+func TestSchedulerSpansAllModules(t *testing.T) {
+	s := DEEPEST()
+	dam, _ := s.Module("DAM")
+	if s.Scheduler.FreeCount(dam) != 4 {
+		t.Errorf("scheduler does not manage the DAM: %d free", s.Scheduler.FreeCount(dam))
+	}
+}
+
+func TestWorkflowTwoStages(t *testing.T) {
+	// Simulation on the Booster feeds analytics on the DAM: the DEEP-EST
+	// HPC + HPDA scenario.
+	s := DEEPEST()
+	res, err := s.RunWorkflow([]Stage{
+		{Name: "simulate", Module: "Booster", Procs: 4,
+			Work: machine.Work{Class: machine.KernelParticle, Flops: 1e9}},
+		{Name: "analyse", Module: "DAM", Procs: 2,
+			Work: machine.Work{Class: machine.KernelStream, Bytes: 64 << 20}, InBytes: 1 << 20},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("workflow free of charge")
+	}
+	if len(res.StageTimes) != 2 || res.StageTimes[0] <= 0 || res.StageTimes[1] <= 0 {
+		t.Fatalf("stage times %v", res.StageTimes)
+	}
+}
+
+func TestWorkflowThreeStagesFanInOut(t *testing.T) {
+	// Uneven stage widths exercise the fan-out mapping: 2 → 4 → 1 ranks
+	// across three modules.
+	s := DEEPEST()
+	res, err := s.RunWorkflow([]Stage{
+		{Name: "ingest", Module: "Cluster", Procs: 2,
+			Work: machine.Work{Class: machine.KernelSerial, Flops: 1e7}},
+		{Name: "simulate", Module: "Booster", Procs: 4,
+			Work: machine.Work{Class: machine.KernelParticle, Flops: 5e8}, InBytes: 256 << 10},
+		{Name: "reduce", Module: "DAM", Procs: 1,
+			Work: machine.Work{Class: machine.KernelStream, Bytes: 8 << 20}, InBytes: 128 << 10},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline must take at least as long as its slowest stage.
+	var longest vclock.Time
+	for _, st := range res.StageTimes {
+		longest = vclock.Max(longest, st)
+	}
+	if res.Makespan < longest {
+		t.Errorf("makespan %v below slowest stage %v", res.Makespan, longest)
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	s := DEEPEST()
+	if _, err := s.RunWorkflow([]Stage{{Name: "solo", Module: "DAM", Procs: 1}}, 1); err == nil {
+		t.Error("single-stage workflow accepted")
+	}
+	if _, err := s.RunWorkflow([]Stage{
+		{Name: "a", Module: "Cluster", Procs: 1},
+		{Name: "b", Module: "Nowhere", Procs: 1},
+	}, 1); err == nil {
+		t.Error("unknown module accepted")
+	}
+	if _, err := s.RunWorkflow([]Stage{
+		{Name: "a", Module: "Cluster", Procs: 1},
+		{Name: "b", Module: "DAM", Procs: 0},
+	}, 1); err == nil {
+		t.Error("zero-proc stage accepted")
+	}
+}
+
+func TestWorkflowStagePlacementMatters(t *testing.T) {
+	// The MSA promise: a particle-class stage is faster when its module is
+	// the Booster than when it is the Cluster.
+	run := func(module string) vclock.Time {
+		s := DEEPEST()
+		res, err := s.RunWorkflow([]Stage{
+			{Name: "feed", Module: "Cluster", Procs: 1,
+				Work: machine.Work{Class: machine.KernelSerial, Flops: 1e6}},
+			{Name: "kernel", Module: module, Procs: 1,
+				Work: machine.Work{Class: machine.KernelParticle, Flops: 3e10}, InBytes: 1 << 16},
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	onBooster := run("Booster")
+	onCluster := run("Cluster")
+	if onBooster >= onCluster {
+		t.Errorf("particle stage on Booster (%v) not faster than on Cluster (%v)", onBooster, onCluster)
+	}
+}

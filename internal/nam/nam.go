@@ -1,0 +1,133 @@
+// Package nam models the DEEP-ER network-attached memory: Hybrid Memory Cube
+// devices behind a Xilinx Virtex 7 FPGA, directly attached to the EXTOLL
+// fabric (§II-B of the paper, ref [6]). The defining property is that the
+// memory is globally accessible through remote DMA without any CPU on the
+// remote side — all access cost is the initiator's RDMA operation through the
+// fabric.
+//
+// The prototype holds two devices of 2 GB each; checkpointing into the NAM is
+// the use case studied in ref [6] and reproduced by the A2 ablation bench.
+package nam
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// DeviceCapacity is the per-device capacity of the prototype's NAM cards
+// (2 GB, limited by then-current HMC technology).
+const DeviceCapacity = 2 << 30
+
+// Device is one NAM card on the fabric.
+type Device struct {
+	name     string
+	capacity int64
+	endpoint int
+	net      *fabric.Network
+
+	mu      sync.Mutex
+	used    int64
+	regions map[string]*Region
+}
+
+// Region is an allocated range of NAM memory.
+type Region struct {
+	dev  *Device
+	name string
+	size int64
+}
+
+// New attaches a NAM device with the given capacity to the fabric.
+func New(net *fabric.Network, name string, capacity int64) *Device {
+	return &Device{
+		name:     name,
+		capacity: capacity,
+		endpoint: net.AttachEndpoint(),
+		net:      net,
+		regions:  map[string]*Region{},
+	}
+}
+
+// NewPrototypePair attaches the two 2 GB NAM devices of the DEEP-ER
+// prototype.
+func NewPrototypePair(net *fabric.Network) [2]*Device {
+	return [2]*Device{
+		New(net, "nam0", DeviceCapacity),
+		New(net, "nam1", DeviceCapacity),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int64 { return d.capacity }
+
+// Used returns the allocated bytes.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Alloc reserves a named region of the given size.
+func (d *Device) Alloc(name string, size int64) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nam: invalid region size %d", size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.regions[name]; ok {
+		return nil, fmt.Errorf("nam: region %q already allocated", name)
+	}
+	if d.used+size > d.capacity {
+		return nil, fmt.Errorf("nam: %s full: %d + %d > %d", d.name, d.used, size, d.capacity)
+	}
+	r := &Region{dev: d, name: name, size: size}
+	d.regions[name] = r
+	d.used += size
+	return r, nil
+}
+
+// Free releases a region by name (no-op if absent).
+func (d *Device) Free(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.regions[name]; ok {
+		d.used -= r.size
+		delete(d.regions, name)
+	}
+}
+
+// Region returns an allocated region by name.
+func (d *Device) Region(name string) (*Region, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.regions[name]
+	return r, ok
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Write RDMA-puts size bytes into the region from the initiator node,
+// returning the completion time. No CPU acts on the NAM side.
+func (r *Region) Write(initiator *machine.Node, size int64, ready vclock.Time) (vclock.Time, error) {
+	if size < 0 || size > r.size {
+		return 0, fmt.Errorf("nam: write of %d bytes exceeds region %q (%d)", size, r.name, r.size)
+	}
+	return r.dev.net.RDMAWrite(initiator, r.dev.endpoint, int(size), ready), nil
+}
+
+// Read RDMA-gets size bytes from the region to the initiator node, returning
+// the completion time.
+func (r *Region) Read(initiator *machine.Node, size int64, ready vclock.Time) (vclock.Time, error) {
+	if size < 0 || size > r.size {
+		return 0, fmt.Errorf("nam: read of %d bytes exceeds region %q (%d)", size, r.name, r.size)
+	}
+	return r.dev.net.RDMARead(initiator, r.dev.endpoint, int(size), ready), nil
+}

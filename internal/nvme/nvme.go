@@ -1,0 +1,153 @@
+// Package nvme models the node-local non-volatile memory device of the
+// DEEP-ER prototype: an Intel DC P3700 NVMe SSD with 400 GB, attached through
+// four lanes of PCIe gen3 (§II-B of the paper). The device is the foundation
+// of the prototype's I/O buffering and multi-level checkpointing: SCR's
+// "local" and "buddy" checkpoint levels and BeeOND's cache domain both live
+// on it.
+//
+// The model has a capacity-accounted object store (named blobs) and a timing
+// model: command latency plus size over sequential bandwidth, with all
+// commands serialised through the device queue (a vclock.SharedClock), so
+// concurrent writers see realistic queueing delays.
+package nvme
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/vclock"
+)
+
+// Spec describes a device model.
+type Spec struct {
+	Name          string
+	CapacityBytes int64
+	ReadGBs       float64     // sequential read bandwidth
+	WriteGBs      float64     // sequential write bandwidth
+	CmdLatency    vclock.Time // per-command setup latency
+}
+
+// P3700 returns the Intel DC P3700 400 GB specification (the prototype's
+// device): ~2.7 GB/s read, ~1.9 GB/s write, ~20 µs command latency.
+func P3700() Spec {
+	return Spec{
+		Name:          "Intel DC P3700 400GB",
+		CapacityBytes: 400 * 1000 * 1000 * 1000,
+		ReadGBs:       2.7,
+		WriteGBs:      1.9,
+		CmdLatency:    20 * vclock.Microsecond,
+	}
+}
+
+// Device is one NVMe device instance.
+type Device struct {
+	spec  Spec
+	queue *vclock.SharedClock
+
+	mu    sync.Mutex
+	used  int64
+	blobs map[string]int64
+}
+
+// New builds a device with the given spec.
+func New(spec Spec) *Device {
+	return &Device{
+		spec:  spec,
+		queue: vclock.NewSharedClock(0),
+		blobs: map[string]int64{},
+	}
+}
+
+// Spec returns the device specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Used returns the bytes currently stored.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Free returns the remaining capacity in bytes.
+func (d *Device) Free() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.CapacityBytes - d.used
+}
+
+// writeTime models one write command of the given size.
+func (d *Device) writeTime(size int64) vclock.Time {
+	return d.spec.CmdLatency + vclock.Time(float64(size)/(d.spec.WriteGBs*1e9))
+}
+
+// readTime models one read command of the given size.
+func (d *Device) readTime(size int64) vclock.Time {
+	return d.spec.CmdLatency + vclock.Time(float64(size)/(d.spec.ReadGBs*1e9))
+}
+
+// Put stores (or overwrites) a named blob of the given size, returning the
+// virtual completion time for a command issued at ready. Fails if the device
+// would overflow.
+func (d *Device) Put(name string, size int64, ready vclock.Time) (vclock.Time, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("nvme: negative size %d", size)
+	}
+	d.mu.Lock()
+	old := d.blobs[name]
+	next := d.used - old + size
+	if next > d.spec.CapacityBytes {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("nvme: %s full: %d + %d > %d", d.spec.Name, d.used, size-old, d.spec.CapacityBytes)
+	}
+	d.blobs[name] = size
+	d.used = next
+	d.mu.Unlock()
+	_, end := d.queue.Reserve(ready, d.writeTime(size))
+	return end, nil
+}
+
+// Get reads a named blob, returning its size and the completion time.
+func (d *Device) Get(name string, ready vclock.Time) (int64, vclock.Time, error) {
+	d.mu.Lock()
+	size, ok := d.blobs[name]
+	d.mu.Unlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("nvme: blob %q not found", name)
+	}
+	_, end := d.queue.Reserve(ready, d.readTime(size))
+	return size, end, nil
+}
+
+// Has reports whether a blob exists.
+func (d *Device) Has(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.blobs[name]
+	return ok
+}
+
+// Delete removes a blob (no-op if absent) at negligible cost.
+func (d *Device) Delete(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if size, ok := d.blobs[name]; ok {
+		d.used -= size
+		delete(d.blobs, name)
+	}
+}
+
+// DropAll clears the device — used by failure injection to model a node loss
+// taking its local checkpoints with it.
+func (d *Device) DropAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blobs = map[string]int64{}
+	d.used = 0
+}
+
+// Blobs returns the number of stored blobs.
+func (d *Device) Blobs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blobs)
+}

@@ -1,0 +1,121 @@
+package nvme
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clusterbooster/internal/vclock"
+)
+
+func TestP3700Spec(t *testing.T) {
+	s := P3700()
+	if s.CapacityBytes != 400*1000*1000*1000 {
+		t.Errorf("capacity = %d, want 400 GB (Table I)", s.CapacityBytes)
+	}
+	if s.WriteGBs >= s.ReadGBs {
+		t.Errorf("write bandwidth %v >= read %v; P3700 reads faster", s.WriteGBs, s.ReadGBs)
+	}
+}
+
+func TestPutGetTiming(t *testing.T) {
+	d := New(P3700())
+	const size = 1900 * 1000 * 1000 // 1.9 GB: exactly 1 s at write bandwidth
+	done, err := d.Put("ckpt", size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Seconds(); math.Abs(got-1.0) > 0.01 {
+		t.Errorf("1.9 GB write took %vs, want ~1s", got)
+	}
+	n, rdone, err := d.Get("ckpt", done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != size {
+		t.Errorf("got %d bytes", n)
+	}
+	wantRead := 1.0 + float64(size)/(2.7e9)
+	if got := rdone.Seconds(); math.Abs(got-wantRead) > 0.02 {
+		t.Errorf("read done at %vs, want ~%vs", got, wantRead)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	d := New(Spec{Name: "tiny", CapacityBytes: 100, WriteGBs: 1, ReadGBs: 1})
+	if _, err := d.Put("a", 60, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Put("b", 60, 0); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	// Overwriting a blob replaces, not adds.
+	if _, err := d.Put("a", 90, 0); err != nil {
+		t.Fatalf("overwrite rejected: %v", err)
+	}
+	if d.Used() != 90 {
+		t.Fatalf("used = %d, want 90", d.Used())
+	}
+}
+
+func TestDeleteAndDropAll(t *testing.T) {
+	d := New(P3700())
+	d.Put("x", 1000, 0)
+	d.Put("y", 2000, 0)
+	if d.Blobs() != 2 {
+		t.Fatalf("blobs = %d", d.Blobs())
+	}
+	d.Delete("x")
+	if d.Has("x") || !d.Has("y") || d.Used() != 2000 {
+		t.Fatal("delete broken")
+	}
+	d.Delete("x") // idempotent
+	d.DropAll()
+	if d.Blobs() != 0 || d.Used() != 0 {
+		t.Fatal("DropAll left state")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	d := New(P3700())
+	if _, _, err := d.Get("nope", 0); err == nil {
+		t.Fatal("missing blob read succeeded")
+	}
+}
+
+func TestQueueSerialises(t *testing.T) {
+	// Two simultaneous writes must not overlap on the device.
+	d := New(P3700())
+	const size = 190 * 1000 * 1000 // 0.1 s each
+	t1, _ := d.Put("a", size, 0)
+	t2, _ := d.Put("b", size, 0)
+	if gap := (t2 - t1).Seconds(); math.Abs(gap-0.1) > 0.01 {
+		t.Errorf("second write finished %vs after first, want ~0.1s", gap)
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	d := New(P3700())
+	if _, err := d.Put("bad", -1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestQuickUsedNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []struct {
+		Name byte
+		Size uint32
+	}) bool {
+		d := New(Spec{Name: "q", CapacityBytes: 1 << 20, WriteGBs: 1, ReadGBs: 1, CmdLatency: vclock.Microsecond})
+		for _, op := range ops {
+			d.Put(string(rune('a'+op.Name%8)), int64(op.Size), 0) // errors fine
+			if d.Used() > d.Spec().CapacityBytes || d.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

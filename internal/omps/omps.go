@@ -1,0 +1,410 @@
+// Package omps reproduces the OmpSs-based abstraction layer of the DEEP
+// projects (§III-B of the paper): a task data-flow runtime where code parts
+// are annotated with data dependencies, the runtime builds the task
+// dependency graph, schedules tasks over the node's cores, and — the DEEP
+// extension — offloads annotated tasks to the other module of the
+// Cluster-Booster system, inserting the necessary MPI transfers.
+//
+// The DEEP-ER resiliency extensions (§III-D) are included: task inputs can be
+// snapshotted to memory before launch so a failed task can be restarted, and
+// a restarted run can fast-forward past tasks whose outputs a checkpoint
+// already holds.
+package omps
+
+import (
+	"fmt"
+	"sort"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/vclock"
+)
+
+// Access is a dependency access mode, as in the OmpSs depend clauses.
+type Access int
+
+const (
+	// In declares a read dependency.
+	In Access = iota
+	// Out declares a write dependency.
+	Out
+	// InOut declares a read-write dependency.
+	InOut
+)
+
+// Dep names one data object a task touches and how.
+type Dep struct {
+	Name string
+	Mode Access
+}
+
+// Reads reports whether the access reads the object.
+func (d Dep) Reads() bool { return d.Mode == In || d.Mode == InOut }
+
+// Writes reports whether the access writes the object.
+func (d Dep) Writes() bool { return d.Mode == Out || d.Mode == InOut }
+
+// Task is one node of the dependency graph.
+type Task struct {
+	ID   int
+	Name string
+	Deps []Dep
+	// Work is the task's virtual compute cost on the node that runs it.
+	Work machine.Work
+	// Fn is the real effect of the task (may be nil for pure-cost tasks).
+	Fn func()
+	// Snapshot requests an input snapshot before launch (resiliency).
+	Snapshot bool
+	// SnapshotBytes is the snapshot size (memory copy cost).
+	SnapshotBytes int
+
+	// Offload marks the task for execution on the other module.
+	Offload bool
+	// InBytes/OutBytes size the offload transfers.
+	InBytes, OutBytes int
+
+	preds []*Task
+	succs []*Task
+
+	// Scheduling results, valid after Run.
+	Start, End vclock.Time
+	Retries    int
+	Skipped    bool
+}
+
+// Graph is a per-rank task graph under construction.
+type Graph struct {
+	p       *psmpi.Proc
+	workers int
+	tasks   []*Task
+
+	lastWriter map[string]*Task
+	readers    map[string][]*Task
+
+	failOnce map[string]bool // tasks made to fail once (injection)
+	done     map[string]bool // outputs already restored (fast-forward)
+}
+
+// NewGraph builds a graph for tasks running on rank p, scheduled over the
+// given number of worker threads (0 means all cores of p's node).
+func NewGraph(p *psmpi.Proc, workers int) *Graph {
+	if workers <= 0 {
+		workers = p.Node().Spec.Cores
+	}
+	return &Graph{
+		p:          p,
+		workers:    workers,
+		lastWriter: map[string]*Task{},
+		readers:    map[string][]*Task{},
+		failOnce:   map[string]bool{},
+		done:       map[string]bool{},
+	}
+}
+
+// Add appends a task with the given dependency annotations and returns it.
+// Dependency edges are derived exactly as OmpSs does: read-after-write,
+// write-after-read and write-after-write on the named objects.
+func (g *Graph) Add(name string, deps []Dep, work machine.Work, fn func()) *Task {
+	t := &Task{ID: len(g.tasks), Name: name, Deps: deps, Work: work, Fn: fn}
+	for _, d := range deps {
+		if d.Reads() {
+			if w := g.lastWriter[d.Name]; w != nil {
+				addEdge(w, t)
+			}
+		}
+		if d.Writes() {
+			if w := g.lastWriter[d.Name]; w != nil {
+				addEdge(w, t) // WAW
+			}
+			for _, r := range g.readers[d.Name] {
+				if r != t {
+					addEdge(r, t) // WAR
+				}
+			}
+		}
+	}
+	// Update object state after edge derivation.
+	for _, d := range deps {
+		if d.Writes() {
+			g.lastWriter[d.Name] = t
+			g.readers[d.Name] = nil
+		}
+		if d.Reads() {
+			g.readers[d.Name] = append(g.readers[d.Name], t)
+		}
+	}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// AddOffload appends a task annotated for offload to the other module (the
+// DEEP pragma), with explicit input/output transfer sizes.
+func (g *Graph) AddOffload(name string, deps []Dep, work machine.Work, inBytes, outBytes int, fn func()) *Task {
+	t := g.Add(name, deps, work, fn)
+	t.Offload = true
+	t.InBytes, t.OutBytes = inBytes, outBytes
+	return t
+}
+
+func addEdge(from, to *Task) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// InjectFailure makes the named task fail on its first attempt; with a
+// snapshot it restarts, otherwise Run returns an error.
+func (g *Graph) InjectFailure(name string) { g.failOnce[name] = true }
+
+// FastForward marks an object's producing task as already satisfied by a
+// restored checkpoint: the task is skipped, its consumers run normally
+// (the §III-D "fast-forward a re-started application" feature).
+func (g *Graph) FastForward(taskNames ...string) {
+	for _, n := range taskNames {
+		g.done[n] = true
+	}
+}
+
+// Tasks returns the graph's tasks in creation order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Result summarises a graph execution.
+type Result struct {
+	Makespan     vclock.Time // end of the last task relative to run start
+	CriticalPath vclock.Time // lower bound: longest dependency chain
+	Executed     int
+	Offloaded    int
+	SkippedTasks int
+	Retried      int
+}
+
+// Run schedules the graph over the workers, executes task effects in a valid
+// topological order and advances the rank's clock by the schedule makespan.
+// Offload tasks are costed analytically against the target module (use
+// RunWithOffload for real message traffic to a worker job).
+func (g *Graph) Run() (Result, error) {
+	return g.run(nil, 0)
+}
+
+// RunWithOffload is Run with offload tasks executed through real psmpi
+// traffic on the given inter-communicator: inputs are sent to the offload
+// worker (rank workerRank of the remote group, running WorkerMain), which
+// computes at its node's speed and returns the outputs.
+func (g *Graph) RunWithOffload(inter *psmpi.Comm, workerRank int) (Result, error) {
+	if inter == nil {
+		return Result{}, fmt.Errorf("omps: nil inter-communicator")
+	}
+	return g.run(inter, workerRank)
+}
+
+func (g *Graph) run(inter *psmpi.Comm, workerRank int) (Result, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+	base := g.p.Now()
+	lanes := make([]vclock.Time, g.workers)
+	spec := g.p.Node().Spec
+	remoteSpec := machine.Spec(otherModule(g.p.Module()))
+
+	var res Result
+	for _, t := range order {
+		ready := base
+		for _, pr := range t.preds {
+			ready = vclock.Max(ready, pr.End)
+		}
+		if g.done[t.Name] {
+			t.Skipped = true
+			t.Start, t.End = ready, ready
+			res.SkippedTasks++
+			continue
+		}
+		if t.Snapshot && t.SnapshotBytes > 0 {
+			ready += spec.ComputeTime(machine.Work{Class: machine.KernelStream, Bytes: float64(t.SnapshotBytes)})
+		}
+		attempts := 1
+		if g.failOnce[t.Name] {
+			g.failOnce[t.Name] = false
+			if !t.Snapshot {
+				return res, fmt.Errorf("omps: task %q failed and has no input snapshot to restart from", t.Name)
+			}
+			attempts = 2
+			t.Retries++
+			res.Retried++
+		}
+		switch {
+		case t.Offload && inter != nil:
+			t.Start, t.End = g.offloadReal(t, inter, workerRank, ready, attempts)
+			res.Offloaded++
+		case t.Offload:
+			dur := transferTime(g.p, t.InBytes) +
+				vclock.Time(attempts)*remoteSpec.ComputeTime(t.Work) +
+				transferTime(g.p, t.OutBytes)
+			t.Start = ready
+			t.End = ready + dur
+			res.Offloaded++
+		default:
+			// Pick the earliest-free worker lane.
+			li := 0
+			for i := range lanes {
+				if lanes[i] < lanes[li] {
+					li = i
+				}
+			}
+			t.Start = vclock.Max(ready, lanes[li])
+			t.End = t.Start + vclock.Time(attempts)*spec.ComputeTime(t.Work)
+			lanes[li] = t.End
+		}
+		if t.Fn != nil {
+			t.Fn()
+		}
+		res.Executed++
+	}
+	var end vclock.Time = base
+	for _, t := range g.tasks {
+		end = vclock.Max(end, t.End)
+	}
+	res.Makespan = end - base
+	res.CriticalPath = g.criticalPath(base)
+	// The rank owns the whole schedule: advance its clock to the makespan.
+	if end > g.p.Now() {
+		g.p.Elapse(end - g.p.Now())
+	}
+	return res, nil
+}
+
+// offloadReal ships the task through the inter-communicator.
+func (g *Graph) offloadReal(t *Task, inter *psmpi.Comm, workerRank int, ready vclock.Time, attempts int) (start, end vclock.Time) {
+	if g.p.Now() < ready {
+		g.p.Elapse(ready - g.p.Now())
+	}
+	start = g.p.Now()
+	for a := 0; a < attempts; a++ {
+		desc := []float64{float64(t.Work.Flops), float64(int(t.Work.Class)), float64(t.OutBytes)}
+		g.p.SendF64(inter, workerRank, tagOffloadDesc, desc)
+		g.p.Send(inter, workerRank, tagOffloadIn, nil, t.InBytes)
+		g.p.Recv(inter, workerRank, tagOffloadOut)
+	}
+	return start, g.p.Now()
+}
+
+// Offload protocol tags on the parent↔worker inter-communicator.
+const (
+	tagOffloadDesc = 101
+	tagOffloadIn   = 102
+	tagOffloadOut  = 103
+	tagOffloadStop = 104
+)
+
+// WorkerMain is the psmpi main for an offload worker job: it serves offload
+// requests from its parent until it receives a stop message. Spawn it on the
+// target module and pass the resulting inter-communicator to RunWithOffload.
+func WorkerMain(p *psmpi.Proc) error {
+	parent := p.Parent()
+	if parent == nil {
+		return fmt.Errorf("omps: worker has no parent")
+	}
+	for {
+		data, st := p.Recv(parent, psmpi.AnySource, psmpi.AnyTag)
+		switch st.Tag {
+		case tagOffloadStop:
+			return nil
+		case tagOffloadDesc:
+			desc := data.([]float64)
+			p.Recv(parent, st.Source, tagOffloadIn)
+			p.Compute(machine.Work{Class: machine.KernelClass(int(desc[1])), Flops: desc[0]})
+			p.Send(parent, st.Source, tagOffloadOut, nil, int(desc[2]))
+		default:
+			return fmt.Errorf("omps: worker got unexpected tag %d", st.Tag)
+		}
+	}
+}
+
+// StopWorker tells a worker spawned with WorkerMain to exit.
+func StopWorker(p *psmpi.Proc, inter *psmpi.Comm, workerRank int) {
+	p.Send(inter, workerRank, tagOffloadStop, nil, 0)
+}
+
+// transferTime is the analytic offload transfer estimate used when no real
+// inter-communicator is wired: one rendezvous crossing of the fabric.
+func transferTime(p *psmpi.Proc, bytes int) vclock.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	sys := p.Runtime().System()
+	other := otherModule(p.Module())
+	if sys.NodeCount(other) == 0 {
+		return 0
+	}
+	return p.Runtime().Network().PingPongTime(p.Node(), sys.Module(other)[0], bytes)
+}
+
+func otherModule(m machine.Module) machine.Module {
+	if m == machine.Cluster {
+		return machine.Booster
+	}
+	return machine.Cluster
+}
+
+// topoOrder returns the tasks in a deterministic topological order (by task
+// ID among ready tasks), or an error on a dependency cycle.
+func (g *Graph) topoOrder() ([]*Task, error) {
+	indeg := make([]int, len(g.tasks))
+	for _, t := range g.tasks {
+		indeg[t.ID] = len(t.preds)
+	}
+	var ready []*Task
+	for _, t := range g.tasks {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t)
+		}
+	}
+	var order []*Task
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, s := range t.succs {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, fmt.Errorf("omps: dependency cycle among %d tasks", len(g.tasks)-len(order))
+	}
+	return order, nil
+}
+
+// criticalPath computes the longest dependency chain cost (offload and lane
+// contention excluded), a lower bound on any schedule.
+func (g *Graph) criticalPath(base vclock.Time) vclock.Time {
+	spec := g.p.Node().Spec
+	memo := make([]vclock.Time, len(g.tasks))
+	var longest vclock.Time
+	// tasks are indexed by creation order, and edges only go forward in a
+	// topological order; process in topo order.
+	order, err := g.topoOrder()
+	if err != nil {
+		return 0
+	}
+	for _, t := range order {
+		var in vclock.Time
+		for _, pr := range t.preds {
+			in = vclock.Max(in, memo[pr.ID])
+		}
+		dur := spec.ComputeTime(t.Work)
+		if t.Skipped {
+			dur = 0
+		}
+		memo[t.ID] = in + dur
+		longest = vclock.Max(longest, memo[t.ID])
+	}
+	return longest
+}

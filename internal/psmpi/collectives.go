@@ -1,0 +1,281 @@
+package psmpi
+
+import "fmt"
+
+// Collective operations, built on top of the timed point-to-point layer with
+// the standard algorithms (dissemination barrier, binomial trees, ring
+// allgather, pairwise alltoall), so that their virtual-time cost emerges from
+// the fabric model rather than being postulated.
+//
+// As in MPI, all members of the communicator must call the same collectives
+// in the same order. Collectives are not supported on inter-communicators.
+
+// Op is a reduction operator over float64.
+type Op int
+
+const (
+	// OpSum adds elementwise.
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+	// OpMin takes the elementwise minimum.
+	OpMin
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("psmpi: unknown op %d", int(o)))
+	}
+}
+
+// collTag reserves a fresh tag block for one collective invocation on comm.
+// Every rank calls collectives in the same order (an MPI requirement), so the
+// per-comm sequence numbers agree across ranks without synchronisation.
+func (p *Proc) collTag(c *Comm) int {
+	if c.IsInter() {
+		panic("psmpi: collectives on inter-communicators are not supported")
+	}
+	if c.Size() > collTagBlock {
+		panic(fmt.Sprintf("psmpi: communicator size %d exceeds collective tag block %d", c.Size(), collTagBlock))
+	}
+	seq := p.collSeq[c.id]
+	p.collSeq[c.id] = seq + 1
+	return MaxUserTag + int(seq)*collTagBlock
+}
+
+// collTagBlock is the number of reserved tags per collective invocation; it
+// bounds the number of internal rounds/steps a single collective may use.
+const collTagBlock = 1024
+
+// Barrier synchronises all ranks of the communicator (dissemination
+// algorithm: ⌈log2 p⌉ rounds of zero-byte messages). On return every rank's
+// clock is at least the maximum pre-barrier clock plus the network rounds.
+func (p *Proc) Barrier(c *Comm) {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		req := p.sendTagged(c, dst, base+round, nil, 0, modeStandard, false)
+		p.recvTagged(c, src, base+round)
+		p.Wait(req)
+	}
+}
+
+// recvTagged is Recv for internal (reserved-tag) traffic.
+func (p *Proc) recvTagged(c *Comm, src, tag int) any {
+	e := p.recvCommon(c, src, tag)
+	return e.data
+}
+
+// Bcast broadcasts data (of the given wire size) from root to all ranks using
+// a binomial tree, and returns the value each rank ends up with.
+func (p *Proc) Bcast(c *Comm, root int, data any, bytes int) any {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	rel := (me - root + n) % n
+
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root + n) % n
+			data = p.recvTagged(c, src, base)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			p.sendTagged(c, dst, base, data, bytes, modeStandard, true)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// BcastF64 broadcasts a float64 slice from root; every rank receives a copy
+// into buf (root's buf is the source).
+func (p *Proc) BcastF64(c *Comm, root int, buf []float64) {
+	var data any
+	if p.rankIn(c) == root {
+		data = append([]float64(nil), buf...)
+	}
+	out := p.Bcast(c, root, data, 8*len(buf))
+	if p.rankIn(c) != root {
+		copy(buf, out.([]float64))
+	}
+}
+
+// ReduceF64 reduces buf elementwise onto root with op (binomial tree). On
+// root, buf holds the result afterwards; on other ranks buf is untouched.
+func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	rel := (me - root + n) % n
+
+	acc := append([]float64(nil), buf...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < n {
+				src := (srcRel + root) % n
+				part := p.recvTagged(c, src, base).([]float64)
+				op.apply(acc, part)
+			}
+		} else {
+			dstRel := rel &^ mask
+			dst := (dstRel + root) % n
+			p.sendTagged(c, dst, base, acc, 8*len(acc), modeStandard, true)
+			break
+		}
+	}
+	if me == root {
+		copy(buf, acc)
+	}
+}
+
+// AllreduceF64 reduces buf elementwise across all ranks and leaves the result
+// in every rank's buf (reduce-to-0 + broadcast; 2⌈log2 p⌉ rounds).
+func (p *Proc) AllreduceF64(c *Comm, buf []float64, op Op) {
+	p.ReduceF64(c, 0, buf, op)
+	p.BcastF64(c, 0, buf)
+}
+
+// AllreduceScalar reduces a single float64 across the communicator.
+func (p *Proc) AllreduceScalar(c *Comm, v float64, op Op) float64 {
+	buf := []float64{v}
+	p.AllreduceF64(c, buf, op)
+	return buf[0]
+}
+
+// GatherF64 gathers each rank's buf (equal lengths) onto root. On root the
+// returned slice is the concatenation in rank order; other ranks get nil.
+func (p *Proc) GatherF64(c *Comm, root int, buf []float64) []float64 {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	if me != root {
+		p.sendTagged(c, root, base, append([]float64(nil), buf...), 8*len(buf), modeStandard, true)
+		return nil
+	}
+	out := make([]float64, len(buf)*n)
+	reqs := make([]*Request, n)
+	for r := 0; r < n; r++ {
+		if r == me {
+			copy(out[r*len(buf):], buf)
+			continue
+		}
+		reqs[r] = p.Irecv(c, r, base)
+	}
+	for r := 0; r < n; r++ {
+		if reqs[r] == nil {
+			continue
+		}
+		data, _ := p.Wait(reqs[r])
+		copy(out[r*len(buf):], data.([]float64))
+	}
+	return out
+}
+
+// ScatterF64 scatters equal chunks of root's data to all ranks; each rank
+// receives its chunk of the given length into buf.
+func (p *Proc) ScatterF64(c *Comm, root int, data []float64, buf []float64) {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	chunk := len(buf)
+	if me == root {
+		if len(data) != chunk*n {
+			panic(fmt.Sprintf("psmpi: scatter size mismatch: %d != %d×%d", len(data), chunk, n))
+		}
+		reqs := make([]*Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			if r == me {
+				copy(buf, data[r*chunk:(r+1)*chunk])
+				continue
+			}
+			part := append([]float64(nil), data[r*chunk:(r+1)*chunk]...)
+			reqs = append(reqs, p.sendTagged(c, r, base, part, 8*chunk, modeStandard, false))
+		}
+		p.Waitall(reqs...)
+		return
+	}
+	part := p.recvTagged(c, root, base).([]float64)
+	copy(buf, part)
+}
+
+// AllgatherF64 gathers equal-length contributions from all ranks to all
+// ranks using the ring algorithm (p−1 steps, each forwarding one block).
+func (p *Proc) AllgatherF64(c *Comm, buf []float64) []float64 {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	chunk := len(buf)
+	out := make([]float64, chunk*n)
+	copy(out[me*chunk:], buf)
+
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	for step := 0; step < n-1; step++ {
+		block := append([]float64(nil), out[cur*chunk:(cur+1)*chunk]...)
+		req := p.sendTagged(c, right, base+step, block, 8*chunk, modeStandard, false)
+		inBlock := p.recvTagged(c, left, base+step).([]float64)
+		cur = (cur - 1 + n) % n
+		copy(out[cur*chunk:], inBlock)
+		p.Wait(req)
+	}
+	return out
+}
+
+// AlltoallF64 exchanges chunk i of each rank's data with rank i (pairwise
+// exchange). data must have length chunk×p; the result likewise.
+func (p *Proc) AlltoallF64(c *Comm, data []float64, chunk int) []float64 {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	me := p.rankIn(c)
+	n := c.Size()
+	if len(data) != chunk*n {
+		panic(fmt.Sprintf("psmpi: alltoall size mismatch: %d != %d×%d", len(data), chunk, n))
+	}
+	out := make([]float64, chunk*n)
+	copy(out[me*chunk:], data[me*chunk:(me+1)*chunk])
+	for k := 1; k < n; k++ {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		block := append([]float64(nil), data[dst*chunk:(dst+1)*chunk]...)
+		req := p.sendTagged(c, dst, base+k, block, 8*chunk, modeStandard, false)
+		in := p.recvTagged(c, src, base+k).([]float64)
+		copy(out[src*chunk:], in)
+		p.Wait(req)
+	}
+	return out
+}

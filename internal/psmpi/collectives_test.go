@@ -1,0 +1,311 @@
+package psmpi
+
+import (
+	"math"
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// collJob runs main over n cluster nodes.
+func collJob(t *testing.T, n int, main MainFunc) Result {
+	t.Helper()
+	rt := testRuntime(n, 0)
+	return runJob(t, rt, n, main)
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	// After a barrier, every clock must be >= the straggler's pre-barrier
+	// time.
+	const straggle = 5 * vclock.Millisecond
+	res := collJob(t, 5, func(p *Proc) error {
+		if p.Rank() == 3 {
+			p.Elapse(straggle)
+		}
+		p.Barrier(p.World())
+		if p.Now() < straggle {
+			t.Errorf("rank %d at %v after barrier, before straggler's %v", p.Rank(), p.Now(), straggle)
+		}
+		return nil
+	})
+	_ = res
+}
+
+func TestBarrierCostLogP(t *testing.T) {
+	// An 8-rank barrier needs 3 dissemination rounds; cost should be a few
+	// network latencies, not tens.
+	res := collJob(t, 8, func(p *Proc) error {
+		p.Barrier(p.World())
+		return nil
+	})
+	us := res.Makespan.Micros()
+	if us < 2 || us > 20 {
+		t.Errorf("8-rank barrier took %vµs, want a few µs", us)
+	}
+}
+
+func TestBcastValues(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		collJob(t, n, func(p *Proc) error {
+			buf := make([]float64, 4)
+			if p.rankIn(p.World()) == 0 {
+				for i := range buf {
+					buf[i] = float64(i + 1)
+				}
+			}
+			p.BcastF64(p.World(), 0, buf)
+			for i := range buf {
+				if buf[i] != float64(i+1) {
+					t.Errorf("n=%d rank %d: bcast buf = %v", n, p.Rank(), buf)
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	collJob(t, 5, func(p *Proc) error {
+		buf := []float64{0}
+		if p.Rank() == 3 {
+			buf[0] = 99
+		}
+		p.BcastF64(p.World(), 3, buf)
+		if buf[0] != 99 {
+			t.Errorf("rank %d: got %v from root 3", p.Rank(), buf[0])
+		}
+		return nil
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		collJob(t, n, func(p *Proc) error {
+			buf := []float64{float64(p.Rank() + 1), 1}
+			p.ReduceF64(p.World(), 0, buf, OpSum)
+			if p.Rank() == 0 {
+				want := float64(n*(n+1)) / 2
+				if buf[0] != want || buf[1] != float64(n) {
+					t.Errorf("n=%d: reduce got %v, want [%v %v]", n, buf, want, n)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	collJob(t, 6, func(p *Proc) error {
+		buf := []float64{float64(p.Rank())}
+		p.ReduceF64(p.World(), 0, buf, OpMax)
+		if p.Rank() == 0 && buf[0] != 5 {
+			t.Errorf("max = %v, want 5", buf[0])
+		}
+		buf2 := []float64{float64(p.Rank())}
+		p.ReduceF64(p.World(), 0, buf2, OpMin)
+		if p.Rank() == 0 && buf2[0] != 0 {
+			t.Errorf("min = %v, want 0", buf2[0])
+		}
+		return nil
+	})
+}
+
+func TestAllreduceEveryRankGetsResult(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		collJob(t, n, func(p *Proc) error {
+			v := p.AllreduceScalar(p.World(), float64(p.Rank()+1), OpSum)
+			want := float64(n*(n+1)) / 2
+			if v != want {
+				t.Errorf("n=%d rank %d: allreduce = %v, want %v", n, p.Rank(), v, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestGatherOrder(t *testing.T) {
+	const n = 6
+	collJob(t, n, func(p *Proc) error {
+		out := p.GatherF64(p.World(), 2, []float64{float64(p.Rank()) * 10, float64(p.Rank())})
+		if p.Rank() != 2 {
+			if out != nil {
+				t.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			if out[2*r] != float64(r)*10 || out[2*r+1] != float64(r) {
+				t.Errorf("gather chunk %d = %v", r, out[2*r:2*r+2])
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterChunks(t *testing.T) {
+	const n = 4
+	collJob(t, n, func(p *Proc) error {
+		var data []float64
+		if p.Rank() == 0 {
+			for i := 0; i < 2*n; i++ {
+				data = append(data, float64(i))
+			}
+		}
+		buf := make([]float64, 2)
+		p.ScatterF64(p.World(), 0, data, buf)
+		if buf[0] != float64(2*p.Rank()) || buf[1] != float64(2*p.Rank()+1) {
+			t.Errorf("rank %d scatter got %v", p.Rank(), buf)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		collJob(t, n, func(p *Proc) error {
+			out := p.AllgatherF64(p.World(), []float64{float64(p.Rank() * p.Rank())})
+			for r := 0; r < n; r++ {
+				if out[r] != float64(r*r) {
+					t.Errorf("n=%d rank %d: allgather = %v", n, p.Rank(), out)
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoallTransposes(t *testing.T) {
+	const n = 4
+	collJob(t, n, func(p *Proc) error {
+		// data[j] = 10*me + j: after alltoall, out[j] must be 10*j + me.
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = float64(10*p.Rank() + j)
+		}
+		out := p.AlltoallF64(p.World(), data, 1)
+		for j := range out {
+			if out[j] != float64(10*j+p.Rank()) {
+				t.Errorf("rank %d alltoall = %v", p.Rank(), out)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduceCostGrowsWithRanks(t *testing.T) {
+	cost := func(n int) vclock.Time {
+		rt := testRuntime(n, 0)
+		res := runJob(t, rt, n, func(p *Proc) error {
+			p.AllreduceScalar(p.World(), 1, OpSum)
+			return nil
+		})
+		return res.Makespan
+	}
+	c2, c8 := cost(2), cost(8)
+	if c8 <= c2 {
+		t.Errorf("allreduce cost: 8 ranks %v <= 2 ranks %v", c8, c2)
+	}
+	// Tree algorithms: 8 ranks should cost no more than ~6× the 2-rank case
+	// (log factor, not linear).
+	if c8 > 8*c2 {
+		t.Errorf("allreduce cost scaling looks linear: %v vs %v", c2, c8)
+	}
+}
+
+func TestCollectivesOnBooster(t *testing.T) {
+	// Collectives work on Booster nodes and cost more (1.8µs latency).
+	rtC := testRuntime(4, 4)
+	cNodes := rtC.System().Module(machine.Cluster)
+	bNodes := rtC.System().Module(machine.Booster)
+	resC, err := rtC.Launch(LaunchSpec{Nodes: cNodes, Main: func(p *Proc) error {
+		p.Barrier(p.World())
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB := testRuntime(4, 4)
+	bNodes = rtB.System().Module(machine.Booster)
+	resB, err := rtB.Launch(LaunchSpec{Nodes: bNodes, Main: func(p *Proc) error {
+		p.Barrier(p.World())
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Makespan <= resC.Makespan {
+		t.Errorf("booster barrier %v not slower than cluster %v", resB.Makespan, resC.Makespan)
+	}
+}
+
+func TestMixedCollectiveSequence(t *testing.T) {
+	// A realistic sequence of different collectives must not cross-match.
+	collJob(t, 4, func(p *Proc) error {
+		w := p.World()
+		v := p.AllreduceScalar(w, 1, OpSum)
+		if v != 4 {
+			t.Errorf("allreduce = %v", v)
+		}
+		buf := []float64{float64(p.Rank())}
+		p.BcastF64(w, 1, buf)
+		if buf[0] != 1 {
+			t.Errorf("bcast = %v", buf[0])
+		}
+		p.Barrier(w)
+		out := p.AllgatherF64(w, []float64{v + buf[0]})
+		for _, x := range out {
+			if x != 5 {
+				t.Errorf("allgather = %v", out)
+				break
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllreduceLargeVector(t *testing.T) {
+	// Vector reductions above the eager threshold exercise rendezvous inside
+	// collectives.
+	const n = 4
+	const k = 8192 // 64 KiB payload
+	collJob(t, n, func(p *Proc) error {
+		buf := make([]float64, k)
+		for i := range buf {
+			buf[i] = 1
+		}
+		p.AllreduceF64(p.World(), buf, OpSum)
+		if buf[0] != n || buf[k-1] != n {
+			t.Errorf("large allreduce got %v..%v", buf[0], buf[k-1])
+		}
+		return nil
+	})
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	// Property-style check: tree reduction must equal serial summation for
+	// arbitrary data (floating-point associativity differences are bounded).
+	const n = 8
+	vals := make([][]float64, n)
+	for r := range vals {
+		vals[r] = []float64{math.Sqrt(float64(r) + 0.5), float64(r) * 1e-3}
+	}
+	var want0, want1 float64
+	for _, v := range vals {
+		want0 += v[0]
+		want1 += v[1]
+	}
+	collJob(t, n, func(p *Proc) error {
+		buf := append([]float64(nil), vals[p.Rank()]...)
+		p.ReduceF64(p.World(), 0, buf, OpSum)
+		if p.Rank() == 0 {
+			if math.Abs(buf[0]-want0) > 1e-9 || math.Abs(buf[1]-want1) > 1e-9 {
+				t.Errorf("tree sum %v, serial [%v %v]", buf, want0, want1)
+			}
+		}
+		return nil
+	})
+}

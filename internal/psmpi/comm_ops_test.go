@@ -1,0 +1,179 @@
+package psmpi
+
+import (
+	"testing"
+
+	"clusterbooster/internal/vclock"
+)
+
+func TestSplitByParity(t *testing.T) {
+	rt := testRuntime(6, 0)
+	runJob(t, rt, 6, func(p *Proc) error {
+		sub := p.Split(p.World(), p.Rank()%2, p.Rank())
+		if sub == nil {
+			t.Errorf("rank %d got nil comm", p.Rank())
+			return nil
+		}
+		if sub.Size() != 3 {
+			t.Errorf("rank %d: sub size %d, want 3", p.Rank(), sub.Size())
+		}
+		// New ranks are ordered by key (= old rank).
+		want := p.Rank() / 2
+		if got := p.rankIn(sub); got != want {
+			t.Errorf("rank %d: new rank %d, want %d", p.Rank(), got, want)
+		}
+		// The sub-communicator must work: reduce within the group.
+		sum := p.AllreduceScalar(sub, float64(p.Rank()), OpSum)
+		wantSum := 0.0 + 2 + 4
+		if p.Rank()%2 == 1 {
+			wantSum = 1 + 3 + 5
+		}
+		if sum != wantSum {
+			t.Errorf("rank %d: group sum %v, want %v", p.Rank(), sum, wantSum)
+		}
+		return nil
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	rt := testRuntime(4, 0)
+	runJob(t, rt, 4, func(p *Proc) error {
+		color := 0
+		if p.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub := p.Split(p.World(), color, 0)
+		if p.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined color produced a communicator")
+			}
+			return nil
+		}
+		if sub == nil || sub.Size() != 3 {
+			t.Errorf("rank %d: sub = %v", p.Rank(), sub)
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	rt := testRuntime(4, 0)
+	runJob(t, rt, 4, func(p *Proc) error {
+		// Reverse the rank order via the key.
+		sub := p.Split(p.World(), 0, -p.Rank())
+		want := p.World().Size() - 1 - p.Rank()
+		if got := p.rankIn(sub); got != want {
+			t.Errorf("rank %d: new rank %d, want %d", p.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	// A message sent on the dup must not match a receive on the original.
+	rt := testRuntime(2, 0)
+	runJob(t, rt, 2, func(p *Proc) error {
+		w := p.World()
+		dup := p.Dup(w)
+		if p.Rank() == 0 {
+			p.SendF64(dup, 1, 5, []float64{1}) // on dup
+			p.SendF64(w, 1, 5, []float64{2})   // on world
+			return nil
+		}
+		buf := make([]float64, 1)
+		p.RecvF64(w, 0, 5, buf) // must get the world message (2), not (1)
+		if buf[0] != 2 {
+			t.Errorf("world recv got %v, want 2 (dup leaked)", buf[0])
+		}
+		p.RecvF64(dup, 0, 5, buf)
+		if buf[0] != 1 {
+			t.Errorf("dup recv got %v, want 1", buf[0])
+		}
+		return nil
+	})
+}
+
+func TestSequentialSplits(t *testing.T) {
+	// Two Split calls in sequence must produce independent communicators.
+	rt := testRuntime(4, 0)
+	runJob(t, rt, 4, func(p *Proc) error {
+		a := p.Split(p.World(), p.Rank()%2, 0)
+		bq := p.Split(p.World(), p.Rank()/2, 0)
+		if a.id == bq.id {
+			t.Error("sequential splits share a context")
+		}
+		if a.Size() != 2 || bq.Size() != 2 {
+			t.Errorf("sizes %d/%d", a.Size(), bq.Size())
+		}
+		return nil
+	})
+}
+
+func TestSendrecvRingExchange(t *testing.T) {
+	// The classic cyclic shift that deadlocks with blocking sends.
+	const n = 5
+	rt := testRuntime(n, 0)
+	runJob(t, rt, n, func(p *Proc) error {
+		w := p.World()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		got, st := p.Sendrecv(w, right, 9, []float64{float64(p.Rank())}, 8, left, 9)
+		v := got.([]float64)[0]
+		if int(v) != left || st.Source != left {
+			t.Errorf("rank %d: got %v from %d", p.Rank(), v, st.Source)
+		}
+		return nil
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	rt := testRuntime(2, 0)
+	runJob(t, rt, 2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 0 {
+			p.SendF64(w, 1, 3, []float64{1, 2, 3, 4})
+			return nil
+		}
+		st := p.Probe(w, 0, AnyTag)
+		if st.Tag != 3 || st.Bytes != 32 {
+			t.Errorf("probe status %+v", st)
+		}
+		// Message still queued after probe.
+		buf := make([]float64, st.Bytes/8)
+		n, _ := p.RecvF64(w, 0, st.Tag, buf)
+		if n != 4 {
+			t.Errorf("recv after probe got %d elems", n)
+		}
+		return nil
+	})
+}
+
+func TestIprobeNonBlocking(t *testing.T) {
+	rt := testRuntime(2, 0)
+	runJob(t, rt, 2, func(p *Proc) error {
+		w := p.World()
+		if p.Rank() == 1 {
+			// Nothing sent yet: Iprobe must not block.
+			if _, ok := p.Iprobe(w, 0, 1); ok {
+				t.Error("Iprobe found a phantom message")
+			}
+			// Tell rank 0 we're ready, then poll.
+			p.SendF64(w, 0, 2, []float64{1})
+			for {
+				if st, ok := p.Iprobe(w, 0, 1); ok {
+					if st.Tag != 1 {
+						t.Errorf("status %+v", st)
+					}
+					break
+				}
+				p.Elapse(vclock.Microsecond)
+			}
+			p.Recv(w, 0, 1)
+			return nil
+		}
+		buf := make([]float64, 1)
+		p.RecvF64(w, 1, 2, buf)
+		p.SendF64(w, 1, 1, []float64{42})
+		return nil
+	})
+}

@@ -1,0 +1,397 @@
+package psmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// envelope is a message in flight.
+type envelope struct {
+	commID    uint64
+	src       int // sender's rank in its group
+	tag       int
+	data      any
+	bytes     int
+	seq       uint64
+	eager     bool
+	interComm bool        // sent on an inter-communicator (staged path)
+	arrival   vclock.Time // eager only: when data is at the destination NIC
+
+	// Rendezvous handshake state.
+	senderReady vclock.Time      // sender clock when the transfer was issued
+	srcNode     *machine.Node    // needed to time the transfer at match time
+	senderDone  chan vclock.Time // receiver reports the sender's completion
+}
+
+// postedRecv is a receive posted before its message arrived.
+type postedRecv struct {
+	commID  uint64
+	src     int // AnySource allowed
+	tag     int // AnyTag allowed
+	posted  vclock.Time
+	env     *envelope   // set when matched
+	arrival vclock.Time // receiver-side availability time, set when matched
+	done    bool
+}
+
+func (pr *postedRecv) matches(e *envelope) bool {
+	return pr.commID == e.commID &&
+		(pr.src == AnySource || pr.src == e.src) &&
+		(pr.tag == AnyTag || pr.tag == e.tag)
+}
+
+// mailbox holds a rank's unexpected-message queue and posted-receive queue,
+// with standard MPI matching precedence.
+type mailbox struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	unexpected []*envelope
+	posted     []*postedRecv
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// deliver is called from the sender's goroutine. It matches the envelope
+// against posted receives (in post order) or queues it as unexpected. For
+// rendezvous messages matched against a posted receive, the transfer is timed
+// here, because the receive-post time is already known.
+func (mb *mailbox) deliver(e *envelope, dst *Proc) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, pr := range mb.posted {
+		if pr.env == nil && pr.matches(e) {
+			completeMatch(pr, e, dst)
+			mb.cond.Broadcast()
+			return
+		}
+	}
+	mb.unexpected = append(mb.unexpected, e)
+	mb.cond.Broadcast()
+}
+
+// completeMatch times the transfer for a (posted receive, envelope) pair.
+// Caller holds the mailbox lock.
+func completeMatch(pr *postedRecv, e *envelope, dst *Proc) {
+	pr.env = e
+	if e.eager {
+		pr.arrival = e.arrival
+	} else {
+		senderDone, arrival := dst.rt.net.Rendezvous(
+			e.srcNode, dst.node, e.bytes, e.senderReady, pr.posted)
+		pr.arrival = arrival
+		e.senderDone <- senderDone
+	}
+	pr.done = true
+}
+
+// takeUnexpected removes and returns the first unexpected envelope matching
+// (commID, src, tag), or nil. Caller holds the lock.
+func (mb *mailbox) takeUnexpected(commID uint64, src, tag int) *envelope {
+	probe := postedRecv{commID: commID, src: src, tag: tag}
+	for i, e := range mb.unexpected {
+		if probe.matches(e) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			return e
+		}
+	}
+	return nil
+}
+
+// Request is a handle for a non-blocking operation, completed by Wait.
+type Request struct {
+	p    *Proc
+	done bool
+
+	// send-side
+	isSend     bool
+	senderDone chan vclock.Time // rendezvous/synchronous sends
+	sendFree   vclock.Time      // eager sends: sender completion time
+
+	// recv-side
+	pr   *postedRecv
+	mb   *mailbox
+	data *any // receive destination
+}
+
+// sendMode selects the send protocol.
+type sendMode int
+
+const (
+	modeStandard sendMode = iota // eager below threshold, rendezvous above
+	modeSync                     // always rendezvous (MPI_Issend)
+)
+
+// send implements all send flavours. Blocking sends wait for local completion
+// (standard mode: buffer reusable; synchronous mode: matched), non-blocking
+// sends return a Request.
+func (p *Proc) send(c *Comm, dst, tag int, data any, bytes int, mode sendMode, blocking bool) *Request {
+	if tag < 0 || tag >= MaxUserTag {
+		// Internal callers use sendTagged with reserved tags.
+		panic(fmt.Sprintf("psmpi: tag %d out of user range [0,%d)", tag, MaxUserTag))
+	}
+	return p.sendTagged(c, dst, tag, data, bytes, mode, blocking)
+}
+
+func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendMode, blocking bool) *Request {
+	traceStart := p.clock.Now()
+	defer p.record("send", traceStart)
+	target := c.target(dst)
+	// Inter-communicator traffic is staged through the MPI layer on the
+	// sending side (see Config.InterCommStagingGBs).
+	if c.IsInter() && bytes > 0 {
+		p.addComm(vclock.Time(float64(bytes) / (p.rt.cfg.InterCommStagingGBs * 1e9)))
+	}
+	begin := p.clock.Now()
+	p.Stats.Sends++
+	p.Stats.BytesSent += int64(bytes)
+	p.sendSeq++
+
+	e := &envelope{
+		commID:      c.id,
+		src:         p.rankIn(c),
+		tag:         tag,
+		data:        data,
+		bytes:       bytes,
+		seq:         p.sendSeq,
+		srcNode:     p.node,
+		senderReady: begin,
+		interComm:   c.IsInter(),
+	}
+
+	eager := mode == modeStandard && p.rt.net.Eager(bytes)
+	req := &Request{p: p, isSend: true}
+	if eager {
+		senderFree, arrival := p.rt.net.EagerSend(p.node, target.node, bytes, begin)
+		e.eager = true
+		e.arrival = arrival
+		req.sendFree = senderFree
+	} else {
+		e.senderDone = make(chan vclock.Time, 1)
+		req.senderDone = e.senderDone
+	}
+	target.mbox.deliver(e, target)
+
+	if eager {
+		// The sending CPU is busy until the NIC has the data, then free.
+		p.elapseComm(req.sendFree)
+		req.done = true
+		if blocking {
+			return nil
+		}
+		return req
+	}
+	// Rendezvous: the sender's CPU pays the issue overhead (posting the RTS)
+	// and may then continue; completion arrives through the handshake.
+	p.addComm(p.rt.net.SendOverheadOf(p.node))
+	if blocking {
+		p.waitSend(req)
+		return nil
+	}
+	return req
+}
+
+func (p *Proc) waitSend(req *Request) {
+	if req.done {
+		return
+	}
+	done := <-req.senderDone
+	p.elapseComm(done)
+	req.done = true
+}
+
+// Send is a blocking standard-mode send (MPI_Send): it returns when the send
+// buffer is reusable — immediately after injection for eager messages, after
+// the transfer for rendezvous messages.
+func (p *Proc) Send(c *Comm, dst, tag int, data any, bytes int) {
+	p.send(c, dst, tag, data, bytes, modeStandard, true)
+}
+
+// Isend is a non-blocking standard-mode send (MPI_Isend).
+func (p *Proc) Isend(c *Comm, dst, tag int, data any, bytes int) *Request {
+	return p.send(c, dst, tag, data, bytes, modeStandard, false)
+}
+
+// Issend is a non-blocking synchronous send (MPI_Issend): the request
+// completes only once the matching receive is posted. xPic uses this for the
+// Cluster↔Booster moment/field exchange (Listing 4 of the paper).
+func (p *Proc) Issend(c *Comm, dst, tag int, data any, bytes int) *Request {
+	return p.send(c, dst, tag, data, bytes, modeSync, false)
+}
+
+// recvCommon matches a message, timing the receive. Returns the envelope.
+func (p *Proc) recvCommon(c *Comm, src, tag int) *envelope {
+	traceStart := p.clock.Now()
+	defer p.record("recv", traceStart)
+	mb := p.mbox
+	mb.mu.Lock()
+	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
+		mb.mu.Unlock()
+		p.completeRecvUnexpected(e)
+		return e
+	}
+	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+	mb.posted = append(mb.posted, pr)
+	for !pr.done {
+		mb.cond.Wait()
+	}
+	mb.removePosted(pr)
+	mb.mu.Unlock()
+	p.completeRecvPosted(pr)
+	return pr.env
+}
+
+// removePosted drops a completed posted receive. Caller holds the lock.
+func (mb *mailbox) removePosted(pr *postedRecv) {
+	for i, q := range mb.posted {
+		if q == pr {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// completeRecvUnexpected times a receive that found its message already
+// queued (sender was first).
+func (p *Proc) completeRecvUnexpected(e *envelope) {
+	p.Stats.Recvs++
+	p.Stats.BytesRecv += int64(e.bytes)
+	if e.eager {
+		p.elapseComm(e.arrival)
+		p.addComm(p.rt.net.EagerRecvCost(p.node, e.bytes))
+		p.stageInterRecv(e)
+		return
+	}
+	senderDone, arrival := p.rt.net.Rendezvous(
+		e.srcNode, p.node, e.bytes, e.senderReady, p.clock.Now())
+	e.senderDone <- senderDone
+	p.elapseComm(arrival)
+	p.stageInterRecv(e)
+}
+
+// completeRecvPosted times a receive whose posting preceded the message.
+func (p *Proc) completeRecvPosted(pr *postedRecv) {
+	e := pr.env
+	p.Stats.Recvs++
+	p.Stats.BytesRecv += int64(e.bytes)
+	if e.eager {
+		p.elapseComm(pr.arrival)
+		p.addComm(p.rt.net.EagerRecvCost(p.node, e.bytes))
+		p.stageInterRecv(e)
+		return
+	}
+	p.elapseComm(pr.arrival)
+	p.stageInterRecv(e)
+}
+
+// stageInterRecv charges the receiver-side staging copy of
+// inter-communicator messages (the non-RDMA spawn-intercomm path).
+func (p *Proc) stageInterRecv(e *envelope) {
+	if e.interComm && e.bytes > 0 {
+		p.addComm(vclock.Time(float64(e.bytes) / (p.rt.cfg.InterCommStagingGBs * 1e9)))
+	}
+}
+
+// Recv is a blocking receive (MPI_Recv). It returns the message payload and
+// its status. src may be AnySource and tag may be AnyTag.
+func (p *Proc) Recv(c *Comm, src, tag int) (any, Status) {
+	e := p.recvCommon(c, src, tag)
+	return e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+}
+
+// Irecv posts a non-blocking receive (MPI_Irecv); complete it with Wait.
+func (p *Proc) Irecv(c *Comm, src, tag int) *Request {
+	mb := p.mbox
+	req := &Request{p: p, mb: mb}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
+		pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+		completeMatch(pr, e, p)
+		req.pr = pr
+		return req
+	}
+	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+	mb.posted = append(mb.posted, pr)
+	req.pr = pr
+	return req
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Wait blocks until the request completes (MPI_Wait) and returns the received
+// payload and status for receives (nil payload for sends).
+func (p *Proc) Wait(req *Request) (any, Status) {
+	if req.p != p {
+		panic("psmpi: waiting on another rank's request")
+	}
+	traceStart := p.clock.Now()
+	defer p.record("wait", traceStart)
+	if req.isSend {
+		p.waitSend(req)
+		return nil, Status{}
+	}
+	pr := req.pr
+	mb := req.mb
+	mb.mu.Lock()
+	for !pr.done {
+		mb.cond.Wait()
+	}
+	mb.removePosted(pr)
+	mb.mu.Unlock()
+	if !req.done {
+		p.completeRecvPosted(pr)
+		req.done = true
+	}
+	e := pr.env
+	return e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+}
+
+// Waitall completes all requests (MPI_Waitall).
+func (p *Proc) Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			p.Wait(r)
+		}
+	}
+}
+
+// SendF64 copies and sends a []float64 payload; the wire size is 8 bytes per
+// element. The copy gives MPI value semantics: the caller may reuse buf
+// immediately.
+func (p *Proc) SendF64(c *Comm, dst, tag int, buf []float64) {
+	p.Send(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+}
+
+// IsendF64 is the non-blocking variant of SendF64.
+func (p *Proc) IsendF64(c *Comm, dst, tag int, buf []float64) *Request {
+	return p.Isend(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+}
+
+// IssendF64 is the synchronous non-blocking variant of SendF64.
+func (p *Proc) IssendF64(c *Comm, dst, tag int, buf []float64) *Request {
+	return p.Issend(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+}
+
+// RecvF64 receives a []float64 payload into buf (which must be large enough)
+// and returns the element count.
+func (p *Proc) RecvF64(c *Comm, src, tag int, buf []float64) (int, Status) {
+	data, st := p.Recv(c, src, tag)
+	v := data.([]float64)
+	n := copy(buf, v)
+	if n < len(v) {
+		panic(fmt.Sprintf("psmpi: receive buffer too small: %d < %d", len(buf), len(v)))
+	}
+	return n, st
+}

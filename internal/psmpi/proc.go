@@ -1,0 +1,134 @@
+package psmpi
+
+import (
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// Stats accumulates per-rank accounting, used by the experiments to report
+// communication overhead (the paper quotes 3–4 % per solver for xPic).
+type Stats struct {
+	ComputeTime vclock.Time // time spent in Compute
+	CommTime    vclock.Time // time spent inside communication calls
+	OtherTime   vclock.Time // explicit Elapse (I/O waits, etc.)
+	BytesSent   int64
+	BytesRecv   int64
+	Sends       int64
+	Recvs       int64
+	Collectives int64
+	Spawns      int64
+}
+
+// CommFraction returns the share of this rank's busy time spent
+// communicating.
+func (s Stats) CommFraction() float64 {
+	total := s.ComputeTime + s.CommTime + s.OtherTime
+	if total == 0 {
+		return 0
+	}
+	return s.CommTime.Seconds() / total.Seconds()
+}
+
+// Proc is one MPI process (rank). All methods must be called from the rank's
+// own goroutine — exactly like an MPI rank, a Proc is single-threaded.
+type Proc struct {
+	rt     *Runtime
+	l      *launch
+	node   *machine.Node
+	clock  *vclock.Clock
+	mbox   *mailbox
+	rank   int // rank in its world communicator
+	world  *Comm
+	parent *Comm // intercommunicator to the spawning job, nil at top level
+	args   any
+
+	commRank map[uint64]int    // this proc's rank per communicator id
+	collSeq  map[uint64]uint64 // per-communicator collective sequence number
+	sendSeq  uint64
+
+	// Stats is public for post-run inspection; during the run only the
+	// owning goroutine touches it.
+	Stats Stats
+}
+
+func newProc(rt *Runtime, l *launch, node *machine.Node, rank int, args any) *Proc {
+	return &Proc{
+		rt:       rt,
+		l:        l,
+		node:     node,
+		clock:    vclock.NewClock(0),
+		mbox:     newMailbox(),
+		rank:     rank,
+		args:     args,
+		commRank: map[uint64]int{},
+		collSeq:  map[uint64]uint64{},
+	}
+}
+
+// Rank returns this process's rank in its world communicator.
+func (p *Proc) Rank() int { return p.rank }
+
+// World returns the world communicator of this process's job.
+func (p *Proc) World() *Comm { return p.world }
+
+// Parent returns the intercommunicator to the spawning job, or nil if this
+// process was not spawned (MPI_Comm_get_parent).
+func (p *Proc) Parent() *Comm { return p.parent }
+
+// Node returns the node this rank runs on.
+func (p *Proc) Node() *machine.Node { return p.node }
+
+// Module returns the module (Cluster or Booster) this rank runs on.
+func (p *Proc) Module() machine.Module { return p.node.Module }
+
+// Args returns the opaque argument block passed at launch or spawn.
+func (p *Proc) Args() any { return p.args }
+
+// Runtime returns the owning runtime.
+func (p *Proc) Runtime() *Runtime { return p.rt }
+
+// Now returns this rank's current virtual time (MPI_Wtime).
+func (p *Proc) Now() vclock.Time { return p.clock.Now() }
+
+// Compute advances this rank's clock by the cost of the given work on its
+// node, and accounts it as compute time.
+func (p *Proc) Compute(w machine.Work) {
+	start := p.clock.Now()
+	d := p.node.Spec.ComputeTime(w)
+	p.clock.Advance(d)
+	p.Stats.ComputeTime += d
+	p.record(traceComputeName(w.Class), start)
+}
+
+// Elapse advances the clock by an externally computed duration (device I/O,
+// file-system time) and accounts it as other time.
+func (p *Proc) Elapse(d vclock.Time) {
+	p.clock.Advance(d)
+	p.Stats.OtherTime += d
+}
+
+// elapseComm advances the clock to t (if later) and accounts the delta as
+// communication time.
+func (p *Proc) elapseComm(t vclock.Time) {
+	if t > p.clock.Now() {
+		p.Stats.CommTime += t - p.clock.Now()
+		p.clock.AdvanceTo(t)
+	}
+}
+
+// addComm advances the clock by d and accounts it as communication time.
+func (p *Proc) addComm(d vclock.Time) {
+	p.clock.Advance(d)
+	p.Stats.CommTime += d
+}
+
+// rankIn returns this proc's rank in the given communicator, panicking if the
+// proc is not a member — the same error class as using a communicator one is
+// not part of in MPI.
+func (p *Proc) rankIn(c *Comm) int {
+	r, ok := p.commRank[c.id]
+	if !ok {
+		panic("psmpi: proc is not a member of this communicator")
+	}
+	return r
+}

@@ -1,0 +1,91 @@
+package psmpi
+
+import (
+	"encoding/json"
+	"testing"
+
+	"clusterbooster/internal/machine"
+)
+
+func TestTracingRecordsSpans(t *testing.T) {
+	rt := testRuntime(2, 0)
+	rt.EnableTracing()
+	runJob(t, rt, 2, func(p *Proc) error {
+		p.Compute(machine.Work{Class: machine.KernelParticle, Flops: 3e7})
+		if p.Rank() == 0 {
+			p.SendF64(p.World(), 1, 1, make([]float64, 64))
+		} else {
+			buf := make([]float64, 64)
+			p.RecvF64(p.World(), 0, 1, buf)
+		}
+		return nil
+	})
+	events := rt.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[e.Name] = true
+		if e.End <= e.Start {
+			t.Errorf("empty span %+v", e)
+		}
+	}
+	if !kinds["compute/particle"] {
+		t.Errorf("no compute span: %v", kinds)
+	}
+	if !kinds["recv"] {
+		t.Errorf("no recv span: %v", kinds)
+	}
+	// Events are sorted by start.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	rt := testRuntime(1, 0)
+	runJob(t, rt, 1, func(p *Proc) error {
+		p.Compute(machine.Work{Class: machine.KernelSerial, Flops: 1e6})
+		return nil
+	})
+	if got := rt.TraceEvents(); got != nil {
+		t.Fatalf("tracing recorded %d events while disabled", len(got))
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rt := testRuntime(2, 0)
+	rt.EnableTracing()
+	runJob(t, rt, 2, func(p *Proc) error {
+		p.Compute(machine.Work{Class: machine.KernelFieldSolver, Flops: 3e6})
+		p.Barrier(p.World())
+		return nil
+	})
+	raw, err := rt.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  string  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 || e.Pid == "" {
+			t.Errorf("malformed event %+v", e)
+		}
+	}
+}

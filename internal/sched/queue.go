@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// Job is a batch job request.
+type Job struct {
+	ID      int
+	Name    string
+	Cluster int // requested cluster nodes
+	Booster int // requested booster nodes
+	Arrival vclock.Time
+	// Duration is the (assumed exact) runtime once started. A real system
+	// works with estimates; the simulation keeps it simple and exact.
+	Duration vclock.Time
+	// Malleable jobs may start with fewer nodes, down to the given minima
+	// (ref [5]); runtime stretches proportionally to the largest shrink
+	// factor across modules.
+	Malleable  bool
+	MinCluster int
+	MinBooster int
+}
+
+// Policy selects the queue discipline.
+type Policy int
+
+const (
+	// FCFS starts jobs strictly in arrival order; a blocked head blocks the
+	// queue.
+	FCFS Policy = iota
+	// Backfill is FCFS with conservative backfilling: later jobs may jump
+	// ahead if they fit in the current hole without delaying the head job's
+	// earliest possible start.
+	Backfill
+)
+
+// Placed describes one scheduled job.
+type Placed struct {
+	Job     Job
+	Start   vclock.Time
+	End     vclock.Time
+	Cluster int // granted nodes (may be < requested for malleable jobs)
+	Booster int
+}
+
+// Wait returns the job's queue wait time.
+func (p Placed) Wait() vclock.Time { return p.Start - p.Job.Arrival }
+
+// Schedule is the outcome of a queue simulation.
+type Schedule struct {
+	Placed   []Placed
+	Makespan vclock.Time
+}
+
+// AverageWait returns the mean queue wait across jobs.
+func (s Schedule) AverageWait() vclock.Time {
+	if len(s.Placed) == 0 {
+		return 0
+	}
+	var sum vclock.Time
+	for _, p := range s.Placed {
+		sum += p.Wait()
+	}
+	return sum / vclock.Time(len(s.Placed))
+}
+
+// Utilisation returns node-time used divided by node-time available over the
+// makespan, for one module.
+func (s Schedule) Utilisation(m *Manager, mod machine.Module) float64 {
+	total := float64(len(m.sys.Module(mod))) * s.Makespan.Seconds()
+	if total == 0 {
+		return 0
+	}
+	var used float64
+	for _, p := range s.Placed {
+		n := p.Cluster
+		if mod == machine.Booster {
+			n = p.Booster
+		}
+		used += float64(n) * (p.End - p.Start).Seconds()
+	}
+	return used / total
+}
+
+// event tracks node release times during queue simulation.
+type event struct {
+	at      vclock.Time
+	cluster int
+	booster int
+}
+
+// SimulateQueue schedules the jobs (sorted by arrival) under the policy and
+// returns the resulting schedule. It does not touch the manager's online
+// allocation state; it is a planning computation over total node counts.
+func (m *Manager) SimulateQueue(jobs []Job, policy Policy) (Schedule, error) {
+	totalC := m.sys.NodeCount(machine.Cluster)
+	totalB := m.sys.NodeCount(machine.Booster)
+	for _, j := range jobs {
+		needC, needB := j.Cluster, j.Booster
+		if j.Malleable {
+			needC, needB = j.MinCluster, j.MinBooster
+		}
+		if needC > totalC || needB > totalB {
+			return Schedule{}, fmt.Errorf("sched: job %d (%s) can never run: needs %d/%d of %d/%d nodes",
+				j.ID, j.Name, needC, needB, totalC, totalB)
+		}
+	}
+	queue := append([]Job(nil), jobs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+
+	var sched Schedule
+	var running []event
+	freeC, freeB := totalC, totalB
+	now := vclock.Time(0)
+
+	advanceTo := func(t vclock.Time) {
+		now = t
+		kept := running[:0]
+		for _, e := range running {
+			if e.at <= now {
+				freeC += e.cluster
+				freeB += e.booster
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		running = kept
+	}
+
+	// nextRelease returns the earliest pending release time, or -1.
+	nextRelease := func() vclock.Time {
+		t := vclock.Time(-1)
+		for _, e := range running {
+			if t < 0 || e.at < t {
+				t = e.at
+			}
+		}
+		return t
+	}
+
+	place := func(j Job, grantedC, grantedB int, stretch float64) {
+		dur := vclock.Time(j.Duration.Seconds() * stretch)
+		p := Placed{Job: j, Start: now, End: now + dur, Cluster: grantedC, Booster: grantedB}
+		sched.Placed = append(sched.Placed, p)
+		running = append(running, event{at: p.End, cluster: grantedC, booster: grantedB})
+		freeC -= grantedC
+		freeB -= grantedB
+		if p.End > sched.Makespan {
+			sched.Makespan = p.End
+		}
+	}
+
+	// tryStart attempts to start job j now, honouring malleability.
+	tryStart := func(j Job) bool {
+		if j.Cluster <= freeC && j.Booster <= freeB {
+			place(j, j.Cluster, j.Booster, 1)
+			return true
+		}
+		if !j.Malleable {
+			return false
+		}
+		gc := min(j.Cluster, freeC)
+		gb := min(j.Booster, freeB)
+		if gc < j.MinCluster || gb < j.MinBooster {
+			return false
+		}
+		stretch := 1.0
+		if j.Cluster > 0 && gc > 0 {
+			stretch = max64(stretch, float64(j.Cluster)/float64(gc))
+		}
+		if j.Booster > 0 && gb > 0 {
+			stretch = max64(stretch, float64(j.Booster)/float64(gb))
+		}
+		place(j, gc, gb, stretch)
+		return true
+	}
+
+	for i := 0; i < len(queue); {
+		head := queue[i]
+		if head.Arrival > now {
+			advanceTo(head.Arrival)
+		}
+		if tryStart(head) {
+			i++
+			continue
+		}
+		if policy == Backfill {
+			// Earliest possible start of the head job, assuming all running
+			// jobs release on time.
+			headStart := headStartEstimate(head, running, freeC, freeB, now)
+			for k := i + 1; k < len(queue); k++ {
+				cand := queue[k]
+				if cand.Arrival > now || cand.Cluster > freeC || cand.Booster > freeB {
+					continue
+				}
+				if now+cand.Duration <= headStart {
+					place(cand, cand.Cluster, cand.Booster, 1)
+					queue = append(queue[:k], queue[k+1:]...)
+					k--
+				}
+			}
+		}
+		// Wait for the next release (or next arrival if sooner).
+		nr := nextRelease()
+		if i < len(queue) && queue[i].Arrival > now && (nr < 0 || queue[i].Arrival < nr) {
+			advanceTo(queue[i].Arrival)
+			continue
+		}
+		if nr < 0 {
+			return Schedule{}, fmt.Errorf("sched: job %d (%s) cannot start and nothing is running", head.ID, head.Name)
+		}
+		advanceTo(nr)
+	}
+	return sched, nil
+}
+
+// headStartEstimate computes when the head job could start if released
+// resources accumulate on schedule.
+func headStartEstimate(head Job, running []event, freeC, freeB int, now vclock.Time) vclock.Time {
+	evs := append([]event(nil), running...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	c, b := freeC, freeB
+	if head.Cluster <= c && head.Booster <= b {
+		return now
+	}
+	for _, e := range evs {
+		c += e.cluster
+		b += e.booster
+		if head.Cluster <= c && head.Booster <= b {
+			return e.at
+		}
+	}
+	return vclock.Time(1 << 62) // unreachable for valid jobs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

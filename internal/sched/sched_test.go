@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+func newMgr() *Manager { return NewManager(machine.Prototype()) }
+
+func TestAllocRelease(t *testing.T) {
+	m := newMgr()
+	a, err := m.Alloc(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cluster) != 4 || len(a.Booster) != 2 {
+		t.Fatalf("allocation %d/%d, want 4/2", len(a.Cluster), len(a.Booster))
+	}
+	if m.FreeCount(machine.Cluster) != 12 || m.FreeCount(machine.Booster) != 6 {
+		t.Fatalf("free %d/%d after alloc", m.FreeCount(machine.Cluster), m.FreeCount(machine.Booster))
+	}
+	m.Release(a)
+	if m.FreeCount(machine.Cluster) != 16 || m.FreeCount(machine.Booster) != 8 {
+		t.Fatalf("free %d/%d after release", m.FreeCount(machine.Cluster), m.FreeCount(machine.Booster))
+	}
+	m.Release(a) // idempotent
+	if m.FreeCount(machine.Cluster) != 16 {
+		t.Fatal("double release corrupted pool")
+	}
+}
+
+func TestAllocIndependentModules(t *testing.T) {
+	// §II-A: Cluster and Booster nodes are reserved independently — a
+	// cluster-only allocation leaves the booster untouched.
+	m := newMgr()
+	if _, err := m.Alloc(16, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeCount(machine.Booster) != 8 {
+		t.Fatal("cluster-only allocation consumed booster nodes")
+	}
+	if _, err := m.Alloc(0, 8); err != nil {
+		t.Fatalf("booster still free but alloc failed: %v", err)
+	}
+}
+
+func TestAllocOverCommit(t *testing.T) {
+	m := newMgr()
+	if _, err := m.Alloc(17, 0); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	// Failed alloc must not leak nodes.
+	if m.FreeCount(machine.Cluster) != 16 {
+		t.Fatal("failed allocation leaked nodes")
+	}
+}
+
+func TestAllocDisjoint(t *testing.T) {
+	m := newMgr()
+	a, _ := m.Alloc(8, 4)
+	b, _ := m.Alloc(8, 4)
+	seen := map[int]bool{}
+	for _, n := range append(a.Nodes(), b.Nodes()...) {
+		if seen[n.ID] {
+			t.Fatalf("node %d allocated twice", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	m := newMgr()
+	a, _ := m.Alloc(2, 2)
+	got, err := m.Grow(a, machine.Booster, 3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("grow: %v (%d nodes)", err, len(got))
+	}
+	if len(a.Booster) != 5 || m.FreeCount(machine.Booster) != 3 {
+		t.Fatalf("after grow: alloc %d free %d", len(a.Booster), m.FreeCount(machine.Booster))
+	}
+	if err := m.Shrink(a, machine.Booster, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Booster) != 1 || m.FreeCount(machine.Booster) != 7 {
+		t.Fatalf("after shrink: alloc %d free %d", len(a.Booster), m.FreeCount(machine.Booster))
+	}
+	if err := m.Shrink(a, machine.Booster, 5); err == nil {
+		t.Fatal("shrink below zero succeeded")
+	}
+}
+
+func TestPlaceSpawnPrefersFree(t *testing.T) {
+	m := newMgr()
+	// Occupy all but the last two booster nodes.
+	if _, err := m.Alloc(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := m.PlaceSpawn(2, machine.Booster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n.Index < 6 {
+			t.Errorf("spawn placed on busy node %s", n.Name())
+		}
+	}
+}
+
+func TestPlaceSpawnOversubscribes(t *testing.T) {
+	m := newMgr()
+	if _, err := m.Alloc(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := m.PlaceSpawn(4, machine.Booster)
+	if err != nil {
+		t.Fatalf("full module should oversubscribe, got %v", err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+}
+
+func TestPlaceSpawnInvalid(t *testing.T) {
+	m := newMgr()
+	if _, err := m.PlaceSpawn(0, machine.Booster); err == nil {
+		t.Fatal("zero-proc spawn accepted")
+	}
+}
+
+func TestQueueFCFSOrder(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 16, Duration: 10 * vclock.Second},
+		{ID: 2, Cluster: 1, Duration: 1 * vclock.Second},
+	}
+	s, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placed[0].Job.ID != 1 || s.Placed[1].Job.ID != 2 {
+		t.Fatalf("FCFS order violated: %+v", s.Placed)
+	}
+	// Job 2 must wait for job 1 despite being tiny.
+	if s.Placed[1].Start != 10*vclock.Second {
+		t.Errorf("job 2 started at %v, want 10s", s.Placed[1].Start)
+	}
+}
+
+func TestQueueBackfill(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 10, Duration: 10 * vclock.Second},
+		{ID: 2, Cluster: 16, Duration: 5 * vclock.Second}, // blocked head
+		{ID: 3, Cluster: 4, Duration: 10 * vclock.Second}, // fits the hole
+		{ID: 4, Cluster: 4, Duration: 20 * vclock.Second}, // would delay head
+	}
+	s, err := m.SimulateQueue(jobs, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placed{}
+	for _, p := range s.Placed {
+		byID[p.Job.ID] = p
+	}
+	if byID[3].Start != 0 {
+		t.Errorf("job 3 not backfilled: start %v", byID[3].Start)
+	}
+	if byID[2].Start != 10*vclock.Second {
+		t.Errorf("head job delayed by backfill: start %v, want 10s", byID[2].Start)
+	}
+	if byID[4].Start < 10*vclock.Second {
+		t.Errorf("job 4 jumped ahead and would have delayed the head: start %v", byID[4].Start)
+	}
+}
+
+func TestQueueBackfillBeatsFCFS(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 10, Duration: 10 * vclock.Second},
+		{ID: 2, Cluster: 16, Duration: 5 * vclock.Second},
+		{ID: 3, Cluster: 4, Duration: 9 * vclock.Second},
+	}
+	fc, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := m.SimulateQueue(jobs, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.AverageWait() >= fc.AverageWait() {
+		t.Errorf("backfill wait %v not better than FCFS %v", bf.AverageWait(), fc.AverageWait())
+	}
+}
+
+func TestQueueMalleableShrinks(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 12, Duration: 10 * vclock.Second},
+		{ID: 2, Cluster: 8, MinCluster: 4, Malleable: true, Duration: 8 * vclock.Second},
+	}
+	s, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := s.Placed[1]
+	if p2.Start != 0 {
+		t.Fatalf("malleable job waited: start %v", p2.Start)
+	}
+	if p2.Cluster != 4 {
+		t.Fatalf("malleable job granted %d nodes, want 4", p2.Cluster)
+	}
+	// Runtime stretched by 8/4 = 2×.
+	if p2.End != 16*vclock.Second {
+		t.Fatalf("stretched end %v, want 16s", p2.End)
+	}
+}
+
+func TestQueueImpossibleJob(t *testing.T) {
+	m := newMgr()
+	if _, err := m.SimulateQueue([]Job{{ID: 1, Cluster: 99, Duration: vclock.Second}}, FCFS); err == nil {
+		t.Fatal("impossible job accepted")
+	}
+}
+
+func TestQueueUtilisation(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{{ID: 1, Cluster: 16, Duration: 10 * vclock.Second}}
+	s, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilisation(m, machine.Cluster); u < 0.99 || u > 1.01 {
+		t.Errorf("utilisation = %v, want 1.0", u)
+	}
+	if u := s.Utilisation(m, machine.Booster); u != 0 {
+		t.Errorf("booster utilisation = %v, want 0", u)
+	}
+}
+
+func TestQueueRespectsArrivals(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 1, Arrival: 5 * vclock.Second, Duration: vclock.Second},
+	}
+	s, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placed[0].Start != 5*vclock.Second {
+		t.Errorf("job started at %v before its arrival", s.Placed[0].Start)
+	}
+	if s.Placed[0].Wait() != 0 {
+		t.Errorf("wait = %v, want 0", s.Placed[0].Wait())
+	}
+}
+
+// TestQueueCoScheduling exercises the paper's throughput argument: pairing a
+// cluster-heavy and a booster-heavy job keeps both modules busy at once.
+func TestQueueCoScheduling(t *testing.T) {
+	m := newMgr()
+	jobs := []Job{
+		{ID: 1, Cluster: 16, Booster: 0, Duration: 10 * vclock.Second},
+		{ID: 2, Cluster: 0, Booster: 8, Duration: 10 * vclock.Second},
+	}
+	s, err := m.SimulateQueue(jobs, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 10*vclock.Second {
+		t.Errorf("complementary jobs did not co-schedule: makespan %v, want 10s", s.Makespan)
+	}
+}

@@ -1,0 +1,400 @@
+// Package scr reproduces the checkpoint/restart layer of the DEEP-ER
+// prototype (§III-D of the paper): the Scalable Checkpoint/Restart library,
+// extended in DEEP-ER to decide where and how often checkpoints are taken
+// based on a failure model of the machine.
+//
+// Checkpoints are multi-level, cheapest first:
+//
+//	LevelLocal  — the rank's own NVMe (fast, lost with the node)
+//	LevelBuddy  — a copy in a companion node's NVMe via SIONlib (survives a
+//	              single node loss)
+//	LevelGlobal — a SION container on the BeeGFS global file system
+//	              (survives anything, slowest)
+//
+// The manager keeps the checkpoint database, applies the level cadence,
+// computes the Young/Daly optimal interval from the failure model, and
+// serves restarts from the best surviving level after injected failures.
+package scr
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/sion"
+	"clusterbooster/internal/vclock"
+)
+
+// Level identifies a checkpoint level.
+type Level int
+
+const (
+	// LevelLocal is the rank-local NVMe checkpoint.
+	LevelLocal Level = iota
+	// LevelBuddy is the redundant copy on the companion node.
+	LevelBuddy
+	// LevelGlobal is the parallel-file-system checkpoint.
+	LevelGlobal
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelLocal:
+		return "local"
+	case LevelBuddy:
+		return "buddy"
+	case LevelGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config tunes the manager.
+type Config struct {
+	// BuddyEvery takes a buddy-level copy every k-th checkpoint (0 disables).
+	BuddyEvery int
+	// GlobalEvery takes a global-level checkpoint every k-th checkpoint
+	// (0 disables).
+	GlobalEvery int
+	// NodeMTBF is the per-node mean time between failures of the failure
+	// model the DEEP-ER SCR extension uses to plan checkpoints.
+	NodeMTBF vclock.Time
+}
+
+// DefaultConfig uses the cadence typical for SCR deployments: buddy every
+// 4th, global every 16th checkpoint, and an (aggressively short, prototype
+// scale) per-node MTBF of 12 h.
+func DefaultConfig() Config {
+	return Config{BuddyEvery: 4, GlobalEvery: 16, NodeMTBF: 12 * 3600 * vclock.Second}
+}
+
+// Manager is the per-job checkpoint coordinator.
+type Manager struct {
+	cfg   Config
+	net   *fabric.Network
+	fs    *beegfs.FS
+	nodes []*machine.Node // rank → node
+	devs  map[int]*nvme.Device
+
+	mu      sync.Mutex
+	seq     int // checkpoint counter (for cadence)
+	records map[int]*record
+	writers map[string]*sion.Writer // open global containers by path
+	// payload store for local/buddy levels (content travels with validity).
+	local map[string][]byte
+	buddy map[string][]byte
+}
+
+type record struct {
+	step        int
+	localValid  []bool
+	buddyValid  []bool
+	globalValid []bool
+	globalPath  string
+}
+
+// New builds a manager for a job whose rank i runs on nodes[i]; devs maps
+// node IDs to their NVMe devices. fs may be nil if GlobalEvery is 0.
+func New(cfg Config, net *fabric.Network, fs *beegfs.FS, nodes []*machine.Node, devs map[int]*nvme.Device) (*Manager, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("scr: no ranks")
+	}
+	if cfg.GlobalEvery > 0 && fs == nil {
+		return nil, fmt.Errorf("scr: global level enabled without a file system")
+	}
+	for _, n := range nodes {
+		if _, ok := devs[n.ID]; !ok {
+			return nil, fmt.Errorf("scr: node %s has no NVMe device", n.Name())
+		}
+	}
+	return &Manager{
+		cfg:     cfg,
+		net:     net,
+		fs:      fs,
+		nodes:   nodes,
+		devs:    devs,
+		records: map[int]*record{},
+		writers: map[string]*sion.Writer{},
+		local:   map[string][]byte{},
+		buddy:   map[string][]byte{},
+	}, nil
+}
+
+// Ranks returns the number of ranks covered.
+func (m *Manager) Ranks() int { return len(m.nodes) }
+
+// BuddyOf returns the companion rank used for buddy checkpoints: the
+// neighbour in a ring over the ranks, guaranteed to live on another node
+// whenever more than one node is in use.
+func (m *Manager) BuddyOf(rank int) int { return (rank + 1) % len(m.nodes) }
+
+func key(step, rank int) string { return fmt.Sprintf("scr/step%d/rank%d", step, rank) }
+
+// BeginCheckpoint opens checkpoint number seq for the given step and decides
+// which levels this checkpoint writes, per the configured cadence.
+func (m *Manager) BeginCheckpoint(step int) []Level {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	levels := []Level{LevelLocal}
+	if m.cfg.BuddyEvery > 0 && m.seq%m.cfg.BuddyEvery == 0 {
+		levels = append(levels, LevelBuddy)
+	}
+	if m.cfg.GlobalEvery > 0 && m.seq%m.cfg.GlobalEvery == 0 {
+		levels = append(levels, LevelGlobal)
+	}
+	if _, ok := m.records[step]; !ok {
+		n := len(m.nodes)
+		m.records[step] = &record{
+			step:        step,
+			localValid:  make([]bool, n),
+			buddyValid:  make([]bool, n),
+			globalValid: make([]bool, n),
+			globalPath:  fmt.Sprintf("/scr/ckpt-step%d.sion", step),
+		}
+	}
+	return levels
+}
+
+// Checkpoint writes one rank's state for a step at the given levels, and
+// returns the time at which the slowest requested level is durable.
+func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready vclock.Time) (vclock.Time, error) {
+	m.mu.Lock()
+	rec, ok := m.records[step]
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("scr: checkpoint for step %d not begun", step)
+	}
+	node := m.nodes[rank]
+	done := ready
+	for _, lv := range levels {
+		switch lv {
+		case LevelLocal:
+			t, err := m.devs[node.ID].Put(key(step, rank), int64(len(data)), ready)
+			if err != nil {
+				return 0, fmt.Errorf("scr: local level: %w", err)
+			}
+			m.mu.Lock()
+			m.local[key(step, rank)] = append([]byte(nil), data...)
+			rec.localValid[rank] = true
+			m.mu.Unlock()
+			done = vclock.Max(done, t)
+		case LevelBuddy:
+			b := m.BuddyOf(rank)
+			bn := m.nodes[b]
+			if bn.ID == node.ID {
+				// Single-node job: a buddy copy adds nothing.
+				continue
+			}
+			t, err := sion.Buddy(m.net, node, bn, m.devs[bn.ID], key(step, rank)+"/buddy", data, ready)
+			if err != nil {
+				return 0, fmt.Errorf("scr: buddy level: %w", err)
+			}
+			m.mu.Lock()
+			m.buddy[key(step, rank)] = append([]byte(nil), data...)
+			rec.buddyValid[rank] = true
+			m.mu.Unlock()
+			done = vclock.Max(done, t)
+		case LevelGlobal:
+			t, err := m.writeGlobal(rec, rank, data, ready)
+			if err != nil {
+				return 0, err
+			}
+			done = vclock.Max(done, t)
+		default:
+			return 0, fmt.Errorf("scr: unknown level %v", lv)
+		}
+	}
+	return done, nil
+}
+
+// writeGlobal streams one rank's chunk into the step's SION container.
+// Containers are created lazily and closed by CompleteGlobal.
+func (m *Manager) writeGlobal(rec *record, rank int, data []byte, ready vclock.Time) (vclock.Time, error) {
+	m.mu.Lock()
+	w := m.writers[rec.globalPath]
+	m.mu.Unlock()
+	if w == nil {
+		var err error
+		w, _, err = sion.Create(m.fs, rec.globalPath, len(m.nodes), 64<<10, m.nodes[rank], ready)
+		if err != nil {
+			return 0, fmt.Errorf("scr: global container: %w", err)
+		}
+		m.mu.Lock()
+		m.writers[rec.globalPath] = w
+		m.mu.Unlock()
+	}
+	t, err := w.WriteTask(rank, data, m.nodes[rank], ready)
+	if err != nil {
+		return 0, fmt.Errorf("scr: global level: %w", err)
+	}
+	m.mu.Lock()
+	rec.globalValid[rank] = true
+	m.mu.Unlock()
+	return t, nil
+}
+
+// CompleteGlobal closes the step's global container (call once after all
+// ranks contributed, e.g. from rank 0 after a barrier).
+func (m *Manager) CompleteGlobal(step, rank int, ready vclock.Time) (vclock.Time, error) {
+	m.mu.Lock()
+	rec, ok := m.records[step]
+	var w *sion.Writer
+	if ok {
+		w = m.writers[rec.globalPath]
+		delete(m.writers, rec.globalPath)
+	}
+	m.mu.Unlock()
+	if w == nil {
+		return ready, nil
+	}
+	return w.Close(m.nodes[rank], ready)
+}
+
+// FailNode models the loss of a node: its NVMe contents vanish, invalidating
+// the local level of every rank on it and the buddy copies it held.
+func (m *Manager) FailNode(nodeID int) {
+	if dev, ok := m.devs[nodeID]; ok {
+		dev.DropAll()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range m.records {
+		for rank, node := range m.nodes {
+			if node.ID != nodeID {
+				continue
+			}
+			rec.localValid[rank] = false
+			delete(m.local, key(rec.step, rank))
+		}
+		// Buddy copies *held on* the failed node protect the previous rank
+		// in the ring; those are gone too.
+		for rank := range m.nodes {
+			if m.nodes[m.BuddyOf(rank)].ID == nodeID {
+				rec.buddyValid[rank] = false
+				delete(m.buddy, key(rec.step, rank))
+			}
+		}
+	}
+}
+
+// BestRestart returns the newest step from which every rank can restore
+// (from any level), and per-rank levels to use. ok is false if no complete
+// checkpoint survives.
+func (m *Manager) BestRestart() (step int, levels []Level, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best := -1
+	var bestLv []Level
+	for s, rec := range m.records {
+		if s <= best {
+			continue
+		}
+		lv := make([]Level, len(m.nodes))
+		good := true
+		for rank := range m.nodes {
+			switch {
+			case rec.localValid[rank]:
+				lv[rank] = LevelLocal
+			case rec.buddyValid[rank]:
+				lv[rank] = LevelBuddy
+			case rec.globalValid[rank]:
+				lv[rank] = LevelGlobal
+			default:
+				good = false
+			}
+			if !good {
+				break
+			}
+		}
+		if good {
+			best, bestLv = s, lv
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	return best, bestLv, true
+}
+
+// Restore fetches one rank's checkpoint of the given step from the given
+// level, returning the data and completion time.
+func (m *Manager) Restore(rank, step int, lv Level, ready vclock.Time) ([]byte, vclock.Time, error) {
+	node := m.nodes[rank]
+	switch lv {
+	case LevelLocal:
+		m.mu.Lock()
+		data, ok := m.local[key(step, rank)]
+		m.mu.Unlock()
+		if !ok {
+			return nil, 0, fmt.Errorf("scr: no local checkpoint for rank %d step %d", rank, step)
+		}
+		_, t, err := m.devs[node.ID].Get(key(step, rank), ready)
+		if err != nil {
+			return nil, 0, err
+		}
+		return append([]byte(nil), data...), t, nil
+	case LevelBuddy:
+		m.mu.Lock()
+		data, ok := m.buddy[key(step, rank)]
+		m.mu.Unlock()
+		if !ok {
+			return nil, 0, fmt.Errorf("scr: no buddy checkpoint for rank %d step %d", rank, step)
+		}
+		bn := m.nodes[m.BuddyOf(rank)]
+		_, t, err := m.devs[bn.ID].Get(key(step, rank)+"/buddy", ready)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Ship it back across the fabric to the restarting rank.
+		_, arrival := m.net.Rendezvous(bn, node, len(data), t, t)
+		return append([]byte(nil), data...), arrival, nil
+	case LevelGlobal:
+		m.mu.Lock()
+		rec, ok := m.records[step]
+		m.mu.Unlock()
+		if !ok {
+			return nil, 0, fmt.Errorf("scr: unknown step %d", step)
+		}
+		r, t, err := sion.OpenRead(m.fs, rec.globalPath, node, ready)
+		if err != nil {
+			return nil, 0, fmt.Errorf("scr: global restore: %w", err)
+		}
+		data, t2, err := r.ReadTask(rank, node, t)
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, t2, nil
+	default:
+		return nil, 0, fmt.Errorf("scr: unknown level %v", lv)
+	}
+}
+
+// SystemMTBF returns the failure model's mean time between failures for the
+// whole job (per-node MTBF divided by the node count).
+func (m *Manager) SystemMTBF() vclock.Time {
+	uniq := map[int]bool{}
+	for _, n := range m.nodes {
+		uniq[n.ID] = true
+	}
+	if len(uniq) == 0 || m.cfg.NodeMTBF == 0 {
+		return 0
+	}
+	return m.cfg.NodeMTBF / vclock.Time(len(uniq))
+}
+
+// OptimalInterval returns the Young/Daly checkpoint interval
+// √(2·δ·M) for checkpoint cost δ and system MTBF M — the planning rule the
+// DEEP-ER SCR extension applies.
+func OptimalInterval(checkpointCost, mtbf vclock.Time) vclock.Time {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return vclock.Time(math.Sqrt(2 * checkpointCost.Seconds() * mtbf.Seconds()))
+}

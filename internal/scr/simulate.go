@@ -1,0 +1,117 @@
+package scr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clusterbooster/internal/vclock"
+)
+
+// SimParams describes a long-running job under the failure model of §III-D:
+// the DEEP-ER SCR extension decides "where and how often checkpoints are
+// performed, based on a failure model of the DEEP-ER prototype". SimulateRun
+// plays the job forward against exponentially distributed failures so the
+// checkpoint-interval policy can be evaluated (and the Young/Daly rule
+// validated).
+type SimParams struct {
+	// Work is the total useful computation the job must complete.
+	Work vclock.Time
+	// Interval is the useful work between checkpoints.
+	Interval vclock.Time
+	// CheckpointCost is the time one checkpoint takes.
+	CheckpointCost vclock.Time
+	// RestartCost is the time to restore after a failure.
+	RestartCost vclock.Time
+	// MTBF is the system mean time between failures.
+	MTBF vclock.Time
+	// Seed makes the failure sequence reproducible.
+	Seed int64
+}
+
+// SimOutcome summarises one simulated execution.
+type SimOutcome struct {
+	// WallTime is the total time to complete the work.
+	WallTime vclock.Time
+	// Failures is the number of failures survived.
+	Failures int
+	// LostWork is the recomputed time (work since the last checkpoint at
+	// each failure).
+	LostWork vclock.Time
+	// CheckpointTime is the total time spent writing checkpoints.
+	CheckpointTime vclock.Time
+	// Overhead is (WallTime − Work) / Work.
+	Overhead float64
+}
+
+// SimulateRun executes the renewal process: compute in checkpoint intervals,
+// with failures striking at exponential times; each failure loses the work
+// since the last completed checkpoint and pays the restart cost.
+func SimulateRun(p SimParams) (SimOutcome, error) {
+	if p.Work <= 0 || p.Interval <= 0 || p.MTBF <= 0 {
+		return SimOutcome{}, fmt.Errorf("scr: invalid simulation parameters %+v", p)
+	}
+	if p.CheckpointCost < 0 || p.RestartCost < 0 {
+		return SimOutcome{}, fmt.Errorf("scr: negative costs")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	nextFailure := func() vclock.Time {
+		return vclock.Time(rng.ExpFloat64() * p.MTBF.Seconds())
+	}
+
+	var out SimOutcome
+	var wall vclock.Time
+	var doneWork vclock.Time // work safely behind a checkpoint
+	failAt := wall + nextFailure()
+
+	for doneWork < p.Work {
+		segment := p.Interval
+		if rem := p.Work - doneWork; rem < segment {
+			segment = rem
+		}
+		segEnd := wall + segment + p.CheckpointCost
+		if failAt < segEnd {
+			// Failure mid-segment: everything since the last checkpoint is
+			// lost; pay restart and draw the next failure.
+			lost := failAt - wall
+			if lost > segment {
+				lost = segment // failure during the checkpoint write
+			}
+			out.Failures++
+			out.LostWork += lost
+			wall = failAt + p.RestartCost
+			failAt = wall + nextFailure()
+			continue
+		}
+		wall = segEnd
+		doneWork += segment
+		out.CheckpointTime += p.CheckpointCost
+	}
+	out.WallTime = wall
+	out.Overhead = (wall - p.Work).Seconds() / p.Work.Seconds()
+	return out, nil
+}
+
+// SweepIntervals runs the simulation across candidate checkpoint intervals
+// and returns the interval with the lowest wall time — the empirical optimum
+// to compare against OptimalInterval's prediction.
+func SweepIntervals(base SimParams, intervals []vclock.Time) (best vclock.Time, outcomes map[vclock.Time]SimOutcome, err error) {
+	if len(intervals) == 0 {
+		return 0, nil, fmt.Errorf("scr: no intervals to sweep")
+	}
+	outcomes = make(map[vclock.Time]SimOutcome, len(intervals))
+	bestWall := vclock.Time(math.Inf(1))
+	for _, iv := range intervals {
+		p := base
+		p.Interval = iv
+		o, e := SimulateRun(p)
+		if e != nil {
+			return 0, nil, e
+		}
+		outcomes[iv] = o
+		if o.WallTime < bestWall {
+			bestWall, best = o.WallTime, iv
+		}
+	}
+	return best, outcomes, nil
+}

@@ -1,0 +1,129 @@
+package scr
+
+import (
+	"math"
+	"testing"
+
+	"clusterbooster/internal/vclock"
+)
+
+func TestSimulateNoFailures(t *testing.T) {
+	// With an astronomically long MTBF, wall time = work + checkpoints.
+	p := SimParams{
+		Work:           100 * vclock.Second,
+		Interval:       10 * vclock.Second,
+		CheckpointCost: 1 * vclock.Second,
+		RestartCost:    5 * vclock.Second,
+		MTBF:           1e12 * vclock.Second,
+		Seed:           1,
+	}
+	o, err := SimulateRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Failures != 0 {
+		t.Fatalf("%d failures under infinite MTBF", o.Failures)
+	}
+	want := 110 * vclock.Second // 100 work + 10 checkpoints
+	if math.Abs((o.WallTime - want).Seconds()) > 1e-9 {
+		t.Errorf("wall = %v, want %v", o.WallTime, want)
+	}
+	if math.Abs(o.Overhead-0.1) > 1e-9 {
+		t.Errorf("overhead = %v, want 0.1", o.Overhead)
+	}
+}
+
+func TestSimulateWithFailuresCostsMore(t *testing.T) {
+	base := SimParams{
+		Work:           1000 * vclock.Second,
+		Interval:       50 * vclock.Second,
+		CheckpointCost: 2 * vclock.Second,
+		RestartCost:    10 * vclock.Second,
+		Seed:           7,
+	}
+	pSafe := base
+	pSafe.MTBF = 1e12 * vclock.Second
+	safe, _ := SimulateRun(pSafe)
+	pRisky := base
+	pRisky.MTBF = 500 * vclock.Second
+	risky, err := SimulateRun(pRisky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risky.Failures == 0 {
+		t.Fatal("no failures at MTBF=500s over >1000s of work")
+	}
+	if risky.WallTime <= safe.WallTime {
+		t.Errorf("failures free of charge: %v vs %v", risky.WallTime, safe.WallTime)
+	}
+	if risky.LostWork <= 0 {
+		t.Error("failures lost no work")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := SimParams{
+		Work: 500 * vclock.Second, Interval: 20 * vclock.Second,
+		CheckpointCost: vclock.Second, RestartCost: 3 * vclock.Second,
+		MTBF: 200 * vclock.Second, Seed: 42,
+	}
+	a, _ := SimulateRun(p)
+	b, _ := SimulateRun(p)
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+	p.Seed = 43
+	c, _ := SimulateRun(p)
+	if a == c {
+		t.Fatal("different seeds, identical outcome (suspicious)")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateRun(SimParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := SimulateRun(SimParams{Work: 1, Interval: 1, MTBF: 1, CheckpointCost: -1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+// TestDalyIntervalNearOptimal validates the §III-D planning rule: the
+// Young/Daly interval must be close to the empirical optimum of the renewal
+// simulation — and strictly better than checkpointing far too often or far
+// too rarely.
+func TestDalyIntervalNearOptimal(t *testing.T) {
+	base := SimParams{
+		Work:           20000 * vclock.Second,
+		CheckpointCost: 5 * vclock.Second,
+		RestartCost:    20 * vclock.Second,
+		MTBF:           1000 * vclock.Second,
+		Seed:           2024,
+	}
+	daly := OptimalInterval(base.CheckpointCost, base.MTBF) // √(2·5·1000) = 100 s
+	if math.Abs(daly.Seconds()-100) > 1e-9 {
+		t.Fatalf("daly = %v", daly)
+	}
+	intervals := []vclock.Time{
+		daly / 10, daly / 3, daly, 3 * daly, 10 * daly,
+	}
+	// Average a few seeds to tame renewal noise.
+	wall := map[vclock.Time]float64{}
+	for seed := int64(0); seed < 5; seed++ {
+		p := base
+		p.Seed = seed
+		_, outs, err := SweepIntervals(p, intervals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iv, o := range outs {
+			wall[iv] += o.WallTime.Seconds() / 5
+		}
+	}
+	if wall[daly] >= wall[daly/10] {
+		t.Errorf("daly (%.0fs wall) not better than over-checkpointing (%.0fs)", wall[daly], wall[daly/10])
+	}
+	if wall[daly] >= wall[10*daly] {
+		t.Errorf("daly (%.0fs wall) not better than under-checkpointing (%.0fs)", wall[daly], wall[10*daly])
+	}
+}

@@ -1,0 +1,108 @@
+package sion
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/vclock"
+)
+
+// DeviceBackend adapts a node-local NVMe device to the Backend interface, so
+// SION containers (e.g. local checkpoints) can live on node-local storage.
+// Content is kept alongside the device's capacity accounting.
+type DeviceBackend struct {
+	dev *nvme.Device
+
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewDeviceBackend wraps an NVMe device.
+func NewDeviceBackend(dev *nvme.Device) *DeviceBackend {
+	return &DeviceBackend{dev: dev, files: map[string][]byte{}}
+}
+
+// Device returns the underlying device.
+func (d *DeviceBackend) Device() *nvme.Device { return d.dev }
+
+// Create makes an empty file on the device.
+func (d *DeviceBackend) Create(path string, node *machine.Node, ready vclock.Time) vclock.Time {
+	d.mu.Lock()
+	d.files[path] = nil
+	d.mu.Unlock()
+	done, err := d.dev.Put("file:"+path, 0, ready)
+	if err != nil {
+		return ready
+	}
+	return done
+}
+
+// Write stores data at offset, growing the file; time is the device write.
+func (d *DeviceBackend) Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
+	d.mu.Lock()
+	f, ok := d.files[path]
+	if !ok {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("sion: device file %s does not exist", path)
+	}
+	if grow := offset + int64(len(data)) - int64(len(f)); grow > 0 {
+		f = append(f, make([]byte, grow)...)
+	}
+	copy(f[offset:], data)
+	d.files[path] = f
+	size := int64(len(f))
+	d.mu.Unlock()
+	done, err := d.dev.Put("file:"+path, size, ready)
+	if err != nil {
+		return 0, fmt.Errorf("sion: device write: %w", err)
+	}
+	return done, nil
+}
+
+// Read returns size bytes at offset; time is the device read.
+func (d *DeviceBackend) Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
+	d.mu.Lock()
+	f, ok := d.files[path]
+	if !ok || offset < 0 || offset+size > int64(len(f)) {
+		d.mu.Unlock()
+		return nil, 0, fmt.Errorf("sion: device read [%d,%d) of %s invalid", offset, offset+size, path)
+	}
+	out := append([]byte(nil), f[offset:offset+size]...)
+	d.mu.Unlock()
+	_, done, err := d.dev.Get("file:"+path, ready)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// Size returns the file's size.
+func (d *DeviceBackend) Size(path string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path]
+	if !ok {
+		return 0, fmt.Errorf("sion: device file %s does not exist", path)
+	}
+	return int64(len(f)), nil
+}
+
+// Buddy copies a task's local checkpoint data into the NVMe of a companion
+// node — the SIONlib buddy-checkpointing path of §III-C. The transfer crosses
+// the fabric from the owner to the buddy and then commits to the buddy's
+// device; the returned time is when the redundant copy is safe.
+func Buddy(net *fabric.Network, owner, buddy *machine.Node, buddyDev *nvme.Device, name string, data []byte, ready vclock.Time) (vclock.Time, error) {
+	if owner.ID == buddy.ID {
+		return 0, fmt.Errorf("sion: buddy of %s is itself", owner.Name())
+	}
+	// Fabric transfer owner → buddy (rendezvous bulk path).
+	_, arrival := net.Rendezvous(owner, buddy, len(data), ready, ready)
+	done, err := buddyDev.Put(name, int64(len(data)), arrival)
+	if err != nil {
+		return 0, fmt.Errorf("sion: buddy store on %s: %w", buddy.Name(), err)
+	}
+	return done, nil
+}

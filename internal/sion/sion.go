@@ -1,0 +1,294 @@
+// Package sion reproduces the role of SIONlib in the DEEP-ER software stack
+// (§III-C of the paper): a concentration layer that lets thousands of tasks
+// perform task-local I/O while the parallel file system only ever sees one
+// (or a few) large, block-aligned container files.
+//
+// The container format is real: a binary header, a data region of fixed-size
+// blocks handed out to task streams as they grow, and a block table appended
+// at close, with the header patched to point at it. Containers written here
+// are parsed back by OpenRead and verified byte-for-byte in tests.
+//
+// SIONlib also bridges I/O and resiliency in DEEP-ER: the Buddy helper copies
+// a task's checkpoint into the NVMe of a companion node (buddy
+// checkpointing), which package scr builds on.
+package sion
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// Backend abstracts the file system a container lives on. *beegfs.FS
+// satisfies it; DeviceBackend adapts a node-local NVMe device.
+type Backend interface {
+	Create(path string, node *machine.Node, ready vclock.Time) vclock.Time
+	Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error)
+	Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error)
+	Size(path string) (int64, error)
+}
+
+const (
+	magic      = uint32(0x53494f4e) // "SION"
+	version    = uint32(2)
+	headerSize = int64(64)
+)
+
+// Writer is an open container being written by ntasks task-local streams.
+type Writer struct {
+	backend   Backend
+	path      string
+	ntasks    int
+	blockSize int64
+
+	mu      sync.Mutex
+	nextOff int64     // next free block offset
+	blocks  [][]block // per task: ordered block list
+	buf     [][]byte  // per task: current partial block
+	flushed []vclock.Time
+	closed  bool
+}
+
+type block struct {
+	Off  int64
+	Used int64
+}
+
+// Create starts a new container for ntasks streams with the given block size
+// (the alignment unit; SIONlib aligns to file-system blocks). It returns the
+// writer and the metadata completion time.
+func Create(b Backend, path string, ntasks int, blockSize int64, node *machine.Node, ready vclock.Time) (*Writer, vclock.Time, error) {
+	if ntasks <= 0 || blockSize <= 0 {
+		return nil, 0, fmt.Errorf("sion: invalid container geometry (%d tasks, %d block)", ntasks, blockSize)
+	}
+	done := b.Create(path, node, ready)
+	w := &Writer{
+		backend:   b,
+		path:      path,
+		ntasks:    ntasks,
+		blockSize: blockSize,
+		nextOff:   headerSize,
+		blocks:    make([][]block, ntasks),
+		buf:       make([][]byte, ntasks),
+		flushed:   make([]vclock.Time, ntasks),
+	}
+	return w, done, nil
+}
+
+// NTasks returns the number of task streams.
+func (w *Writer) NTasks() int { return w.ntasks }
+
+// WriteTask appends data to one task's logical stream, flushing full blocks
+// to the backend. node is where the task runs; ready is its current virtual
+// time. Returns the time at which the task's buffered state is consistent
+// (the last flush issued by this call, or ready if fully buffered).
+func (w *Writer) WriteTask(task int, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
+	if task < 0 || task >= w.ntasks {
+		return 0, fmt.Errorf("sion: task %d out of range [0,%d)", task, w.ntasks)
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("sion: write to closed container %s", w.path)
+	}
+	w.buf[task] = append(w.buf[task], data...)
+	// Collect full blocks to flush outside the lock's critical path.
+	type pend struct {
+		off  int64
+		data []byte
+	}
+	var flushes []pend
+	for int64(len(w.buf[task])) >= w.blockSize {
+		blk := w.buf[task][:w.blockSize]
+		w.buf[task] = w.buf[task][w.blockSize:]
+		off := w.nextOff
+		w.nextOff += w.blockSize
+		w.blocks[task] = append(w.blocks[task], block{Off: off, Used: w.blockSize})
+		flushes = append(flushes, pend{off: off, data: append([]byte(nil), blk...)})
+	}
+	w.mu.Unlock()
+
+	done := ready
+	for _, f := range flushes {
+		t, err := w.backend.Write(w.path, f.off, f.data, node, ready)
+		if err != nil {
+			return 0, fmt.Errorf("sion: flush task %d: %w", task, err)
+		}
+		done = vclock.Max(done, t)
+	}
+	w.mu.Lock()
+	w.flushed[task] = vclock.Max(w.flushed[task], done)
+	w.mu.Unlock()
+	return done, nil
+}
+
+// Close flushes all partial blocks, writes the block table and patches the
+// header. It is called once (by the I/O root task); ready should be the
+// maximum of the participating tasks' times (a barrier precedes the close in
+// collective use). Returns the completion time of the whole container.
+func (w *Writer) Close(node *machine.Node, ready vclock.Time) (vclock.Time, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("sion: double close of %s", w.path)
+	}
+	w.closed = true
+	// Assign blocks for the partial buffers.
+	type pend struct {
+		off  int64
+		data []byte
+	}
+	var flushes []pend
+	for task := 0; task < w.ntasks; task++ {
+		if len(w.buf[task]) == 0 {
+			continue
+		}
+		data := w.buf[task]
+		w.buf[task] = nil
+		off := w.nextOff
+		w.nextOff += w.blockSize // full block reserved: alignment
+		w.blocks[task] = append(w.blocks[task], block{Off: off, Used: int64(len(data))})
+		flushes = append(flushes, pend{off: off, data: data})
+	}
+	tableOff := w.nextOff
+	table := w.encodeTable()
+	header := w.encodeHeader(tableOff)
+	for _, t := range w.flushed {
+		ready = vclock.Max(ready, t)
+	}
+	w.mu.Unlock()
+
+	done := ready
+	for _, f := range flushes {
+		t, err := w.backend.Write(w.path, f.off, f.data, node, ready)
+		if err != nil {
+			return 0, fmt.Errorf("sion: close flush: %w", err)
+		}
+		done = vclock.Max(done, t)
+	}
+	t, err := w.backend.Write(w.path, tableOff, table, node, done)
+	if err != nil {
+		return 0, fmt.Errorf("sion: block table: %w", err)
+	}
+	done = vclock.Max(done, t)
+	t, err = w.backend.Write(w.path, 0, header, node, done)
+	if err != nil {
+		return 0, fmt.Errorf("sion: header: %w", err)
+	}
+	return vclock.Max(done, t), nil
+}
+
+func (w *Writer) encodeHeader(tableOff int64) []byte {
+	h := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint32(h[4:], version)
+	binary.LittleEndian.PutUint64(h[8:], uint64(w.ntasks))
+	binary.LittleEndian.PutUint64(h[16:], uint64(w.blockSize))
+	binary.LittleEndian.PutUint64(h[24:], uint64(tableOff))
+	return h
+}
+
+func (w *Writer) encodeTable() []byte {
+	var out []byte
+	var scratch [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(v))
+		out = append(out, scratch[:]...)
+	}
+	for task := 0; task < w.ntasks; task++ {
+		put(int64(len(w.blocks[task])))
+		for _, b := range w.blocks[task] {
+			put(b.Off)
+			put(b.Used)
+		}
+	}
+	return out
+}
+
+// Reader is an open container for reading task streams back.
+type Reader struct {
+	backend   Backend
+	path      string
+	ntasks    int
+	blockSize int64
+	blocks    [][]block
+}
+
+// OpenRead parses a container's metadata from the backend. node/ready time
+// the metadata reads; the returned time covers header + table.
+func OpenRead(b Backend, path string, node *machine.Node, ready vclock.Time) (*Reader, vclock.Time, error) {
+	h, t, err := b.Read(path, 0, headerSize, node, ready)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sion: header read: %w", err)
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != magic {
+		return nil, 0, fmt.Errorf("sion: %s is not a SION container", path)
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != version {
+		return nil, 0, fmt.Errorf("sion: %s has unsupported version %d", path, v)
+	}
+	r := &Reader{
+		backend:   b,
+		path:      path,
+		ntasks:    int(binary.LittleEndian.Uint64(h[8:])),
+		blockSize: int64(binary.LittleEndian.Uint64(h[16:])),
+	}
+	tableOff := int64(binary.LittleEndian.Uint64(h[24:]))
+	size, err := b.Size(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, t2, err := b.Read(path, tableOff, size-tableOff, node, t)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sion: table read: %w", err)
+	}
+	r.blocks = make([][]block, r.ntasks)
+	pos := 0
+	next := func() int64 {
+		v := int64(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		return v
+	}
+	for task := 0; task < r.ntasks; task++ {
+		n := next()
+		for i := int64(0); i < n; i++ {
+			off := next()
+			used := next()
+			r.blocks[task] = append(r.blocks[task], block{Off: off, Used: used})
+		}
+	}
+	return r, t2, nil
+}
+
+// NTasks returns the number of task streams in the container.
+func (r *Reader) NTasks() int { return r.ntasks }
+
+// TaskSize returns the logical size of one task's stream.
+func (r *Reader) TaskSize(task int) int64 {
+	var sum int64
+	for _, b := range r.blocks[task] {
+		sum += b.Used
+	}
+	return sum
+}
+
+// ReadTask reads one task's full logical stream.
+func (r *Reader) ReadTask(task int, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
+	if task < 0 || task >= r.ntasks {
+		return nil, 0, fmt.Errorf("sion: task %d out of range [0,%d)", task, r.ntasks)
+	}
+	var out []byte
+	done := ready
+	for _, b := range r.blocks[task] {
+		data, t, err := r.backend.Read(r.path, b.Off, b.Used, node, ready)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sion: task %d block at %d: %w", task, b.Off, err)
+		}
+		out = append(out, data...)
+		done = vclock.Max(done, t)
+	}
+	return out, done, nil
+}

@@ -1,0 +1,312 @@
+package sion
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/vclock"
+)
+
+func testBackend() (Backend, *machine.System) {
+	sys := machine.New(4, 4)
+	net := fabric.New(sys, fabric.Config{})
+	return beegfs.New(net, beegfs.Config{}), sys
+}
+
+func TestRoundTripSingleTask(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	w, _, err := Create(b, "/c.sion", 1, 4096, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("moment data "), 100)
+	if _, err := w.WriteTask(0, payload, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Close(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenRead(b, "/c.sion", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r.ReadTask(0, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip differs: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestRoundTripManyTasks(t *testing.T) {
+	// The concentration property: 16 task streams, one physical file.
+	b, sys := testBackend()
+	n := sys.Node(0)
+	const ntasks = 16
+	w, _, err := Create(b, "/many.sion", ntasks, 1024, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, ntasks)
+	for task := 0; task < ntasks; task++ {
+		payloads[task] = bytes.Repeat([]byte{byte('A' + task)}, 300+200*task)
+		node := sys.Node(task % len(sys.Nodes()))
+		if _, err := w.WriteTask(task, payloads[task], node, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Close(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenRead(b, "/many.sion", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NTasks() != ntasks {
+		t.Fatalf("ntasks = %d", r.NTasks())
+	}
+	for task := 0; task < ntasks; task++ {
+		got, _, err := r.ReadTask(task, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payloads[task]) {
+			t.Fatalf("task %d data corrupted", task)
+		}
+		if r.TaskSize(task) != int64(len(payloads[task])) {
+			t.Fatalf("task %d size = %d", task, r.TaskSize(task))
+		}
+	}
+}
+
+func TestMultiBlockStream(t *testing.T) {
+	// A stream spanning several blocks (block chaining).
+	b, sys := testBackend()
+	n := sys.Node(0)
+	w, _, _ := Create(b, "/blk.sion", 2, 128, n, 0)
+	long := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 B over 128 B blocks
+	for i := 0; i < 4; i++ {
+		if _, err := w.WriteTask(1, long[i*400:(i+1)*400], n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.WriteTask(0, []byte("tiny"), n, 0)
+	if _, err := w.Close(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenRead(b, "/blk.sion", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := r.ReadTask(1, n, 0)
+	if !bytes.Equal(got, long) {
+		t.Fatal("chained blocks corrupted")
+	}
+	got0, _, _ := r.ReadTask(0, n, 0)
+	if string(got0) != "tiny" {
+		t.Fatalf("task 0 = %q", got0)
+	}
+}
+
+func TestEmptyTasksAllowed(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	w, _, _ := Create(b, "/empty.sion", 4, 512, n, 0)
+	w.WriteTask(2, []byte("only me"), n, 0)
+	if _, err := w.Close(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenRead(b, "/empty.sion", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []int{0, 1, 3} {
+		if r.TaskSize(task) != 0 {
+			t.Errorf("task %d not empty", task)
+		}
+		got, _, err := r.ReadTask(task, n, 0)
+		if err != nil || len(got) != 0 {
+			t.Errorf("task %d read = %v, %v", task, got, err)
+		}
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	w, _, _ := Create(b, "/x.sion", 1, 512, n, 0)
+	w.Close(n, 0)
+	if _, err := w.WriteTask(0, []byte("late"), n, 0); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if _, err := w.Close(n, 0); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	if _, _, err := Create(b, "/bad", 0, 512, n, 0); err == nil {
+		t.Fatal("0 tasks accepted")
+	}
+	if _, _, err := Create(b, "/bad", 1, 0, n, 0); err == nil {
+		t.Fatal("0 block size accepted")
+	}
+}
+
+func TestOpenReadRejectsGarbage(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	fs := b.(*beegfs.FS)
+	fs.Create("/garbage", n, 0)
+	fs.Write("/garbage", 0, bytes.Repeat([]byte{7}, 128), n, 0)
+	if _, _, err := OpenRead(b, "/garbage", n, 0); err == nil {
+		t.Fatal("garbage accepted as container")
+	}
+}
+
+func TestTaskOutOfRange(t *testing.T) {
+	b, sys := testBackend()
+	n := sys.Node(0)
+	w, _, _ := Create(b, "/r.sion", 2, 512, n, 0)
+	if _, err := w.WriteTask(2, []byte("x"), n, 0); err == nil {
+		t.Fatal("out-of-range task accepted")
+	}
+	w.Close(n, 0)
+	r, _, _ := OpenRead(b, "/r.sion", n, 0)
+	if _, _, err := r.ReadTask(5, n, 0); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestDeviceBackendRoundTrip(t *testing.T) {
+	sys := machine.New(1, 0)
+	dev := nvme.New(nvme.P3700())
+	d := NewDeviceBackend(dev)
+	n := sys.Node(0)
+	w, _, err := Create(d, "/local.sion", 2, 256, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteTask(0, []byte("local checkpoint"), n, 0)
+	w.WriteTask(1, bytes.Repeat([]byte("B"), 700), n, 0)
+	if _, err := w.Close(n, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := OpenRead(d, "/local.sion", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := r.ReadTask(0, n, 0)
+	if string(got) != "local checkpoint" {
+		t.Fatalf("got %q", got)
+	}
+	if dev.Used() == 0 {
+		t.Error("device backend did not account capacity")
+	}
+}
+
+func TestBuddyCopy(t *testing.T) {
+	sys := machine.New(2, 0)
+	net := fabric.New(sys, fabric.Config{})
+	buddyDev := nvme.New(nvme.P3700())
+	data := bytes.Repeat([]byte("ckpt"), 1<<20)
+	done, err := Buddy(net, sys.Node(0), sys.Node(1), buddyDev, "ckpt/rank0/step5", data, vclock.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= vclock.Second {
+		t.Error("buddy copy free of charge")
+	}
+	if !buddyDev.Has("ckpt/rank0/step5") {
+		t.Error("buddy device does not hold the copy")
+	}
+	if _, err := Buddy(net, sys.Node(0), sys.Node(0), buddyDev, "x", data, 0); err == nil {
+		t.Error("self-buddy accepted")
+	}
+}
+
+func TestConcentrationTimingBeatsFilePerTask(t *testing.T) {
+	// The reason SIONlib exists: N tasks writing one container cost far
+	// fewer metadata operations than N files. Compare virtual times.
+	const ntasks = 32
+	payload := bytes.Repeat([]byte("x"), 4096)
+
+	bc, sysC := testBackend()
+	n := sysC.Node(0)
+	w, _, _ := Create(bc, "/one.sion", ntasks, 4096, n, 0)
+	var tSion vclock.Time
+	for task := 0; task < ntasks; task++ {
+		done, err := w.WriteTask(task, payload, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tSion = vclock.Max(tSion, done)
+	}
+	done, _ := w.Close(n, tSion)
+	tSion = done
+
+	bp, sysP := testBackend()
+	np := sysP.Node(0)
+	fs := bp.(*beegfs.FS)
+	var tFiles vclock.Time
+	for task := 0; task < ntasks; task++ {
+		path := fmt.Sprintf("/task-%d.out", task)
+		created := fs.Create(path, np, 0)
+		wdone, err := fs.Write(path, 0, payload, np, created)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tFiles = vclock.Max(tFiles, wdone)
+	}
+	if tSion >= tFiles {
+		t.Errorf("container (%v) not faster than file-per-task (%v)", tSion, tFiles)
+	}
+}
+
+func TestQuickContainerRoundTrip(t *testing.T) {
+	// Property: arbitrary per-task payloads survive the container format.
+	b, sys := testBackend()
+	n := sys.Node(0)
+	counter := 0
+	f := func(a, b2, c []byte) bool {
+		counter++
+		path := fmt.Sprintf("/q%d.sion", counter)
+		w, _, err := Create(b, path, 3, 64, n, 0)
+		if err != nil {
+			return false
+		}
+		ins := [][]byte{a, b2, c}
+		for task, data := range ins {
+			if _, err := w.WriteTask(task, data, n, 0); err != nil {
+				return false
+			}
+		}
+		if _, err := w.Close(n, 0); err != nil {
+			return false
+		}
+		r, _, err := OpenRead(b, path, n, 0)
+		if err != nil {
+			return false
+		}
+		for task, want := range ins {
+			got, _, err := r.ReadTask(task, n, 0)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

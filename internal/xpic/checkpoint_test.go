@@ -1,0 +1,192 @@
+package xpic
+
+import (
+	"bytes"
+	"testing"
+
+	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/nvme"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/scr"
+)
+
+// TestSnapshotRoundTrip checks that Restore(Snapshot()) is the identity.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rt := newRuntime(1, 0)
+	cfg := QuickConfig(5)
+	_, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: clusterNodes(rt, 1),
+		Main: func(p *psmpi.Proc) error {
+			comm := p.World()
+			sim := NewSim(p, comm, cfg)
+			for sim.Step < 5 {
+				sim.Advance(p, comm)
+			}
+			snap := sim.Snapshot()
+			before := sim.Checksum()
+
+			other := NewSim(p, comm, cfg)
+			if err := other.Restore(snap); err != nil {
+				return err
+			}
+			if other.Step != 5 {
+				t.Errorf("restored step = %d", other.Step)
+			}
+			if other.Checksum() != before {
+				t.Errorf("checksum after restore differs: %v vs %v", other.Checksum(), before)
+			}
+			// Fields restored bit-exactly.
+			if !bytes.Equal(snap, other.Snapshot()) {
+				t.Error("double snapshot differs")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartEquivalence is the resilience integration test: a run that
+// checkpoints at step 6, "crashes" at step 9 and restarts from the
+// checkpoint must reach exactly the same state at step 12 as an undisturbed
+// run — bit-for-bit (§III-D's restart correctness).
+func TestRestartEquivalence(t *testing.T) {
+	cfg := QuickConfig(12)
+	run := func(interrupted bool) float64 {
+		rt := newRuntime(2, 0)
+		var sum float64
+		results := make(chan float64, 2)
+		_, err := rt.Launch(psmpi.LaunchSpec{
+			Nodes: clusterNodes(rt, 2),
+			Main: func(p *psmpi.Proc) error {
+				comm := p.World()
+				sim := NewSim(p, comm, cfg)
+				var snap []byte
+				for sim.Step < 9 {
+					sim.Advance(p, comm)
+					if sim.Step == 6 {
+						snap = sim.Snapshot()
+					}
+				}
+				if interrupted {
+					// Crash: throw the state away, restart from checkpoint.
+					sim = NewSim(p, comm, cfg)
+					if err := sim.Restore(snap); err != nil {
+						return err
+					}
+				}
+				for sim.Step < 12 {
+					sim.Advance(p, comm)
+				}
+				results <- sim.Checksum()
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum = <-results + <-results
+		return sum
+	}
+	plain := run(false)
+	restarted := run(true)
+	if plain != restarted {
+		t.Fatalf("restart changed physics: %v vs %v", plain, restarted)
+	}
+}
+
+// TestCheckpointThroughSCR stores xPic snapshots through the full SCR stack
+// (local NVMe level) and restores them.
+func TestCheckpointThroughSCR(t *testing.T) {
+	rt := newRuntime(2, 0)
+	cfg := QuickConfig(4)
+	nodes := clusterNodes(rt, 2)
+	devs := map[int]*nvme.Device{}
+	for _, n := range nodes {
+		devs[n.ID] = nvme.New(nvme.P3700())
+	}
+	fs := beegfs.New(rt.Network(), beegfs.Config{})
+	mgr, err := scr.New(scr.Config{BuddyEvery: 1}, rt.Network(), fs, nodes, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := make([][]byte, 2)
+	_, err = rt.Launch(psmpi.LaunchSpec{
+		Nodes: nodes,
+		Main: func(p *psmpi.Proc) error {
+			comm := p.World()
+			sim := NewSim(p, comm, cfg)
+			for sim.Step < 4 {
+				sim.Advance(p, comm)
+			}
+			snaps[p.Rank()] = sim.Snapshot()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := mgr.BeginCheckpoint(4)
+	for rank := 0; rank < 2; rank++ {
+		if _, err := mgr.Checkpoint(rank, 4, snaps[rank], levels, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node of rank 0 dies; its snapshot must come back via the buddy level.
+	mgr.FailNode(nodes[0].ID)
+	step, lvls, ok := mgr.BestRestart()
+	if !ok || step != 4 {
+		t.Fatalf("restart unavailable: %v", ok)
+	}
+	got, _, err := mgr.Restore(0, 4, lvls[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, snaps[0]) {
+		t.Fatal("SCR round trip corrupted the snapshot")
+	}
+	// And it must actually restore into a Sim (same 2-rank decomposition —
+	// a snapshot is per-rank state, as in SCR).
+	_, err = rt.Launch(psmpi.LaunchSpec{
+		Nodes: nodes,
+		Main: func(p *psmpi.Proc) error {
+			sim := NewSim(p, p.World(), cfg)
+			if p.Rank() == 0 {
+				return sim.Restore(got)
+			}
+			return sim.Restore(snaps[1])
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRejectsGarbage checks the error paths of the snapshot decoder.
+func TestRestoreRejectsGarbage(t *testing.T) {
+	rt := newRuntime(1, 0)
+	cfg := QuickConfig(1)
+	_, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: clusterNodes(rt, 1),
+		Main: func(p *psmpi.Proc) error {
+			sim := NewSim(p, p.World(), cfg)
+			if err := sim.Restore([]byte("not a snapshot")); err == nil {
+				t.Error("garbage accepted")
+			}
+			if err := sim.Restore(nil); err == nil {
+				t.Error("empty snapshot accepted")
+			}
+			// Truncated real snapshot.
+			snap := sim.Snapshot()
+			if err := sim.Restore(snap[:len(snap)/2]); err == nil {
+				t.Error("truncated snapshot accepted")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

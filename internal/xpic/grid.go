@@ -1,0 +1,209 @@
+package xpic
+
+import (
+	"clusterbooster/internal/psmpi"
+)
+
+// Grid is one rank's slab of the global 2-D periodic grid: rows are
+// decomposed over the ranks of a solver communicator; each local array has
+// one ghost row below (index 0) and one above (index ly+1).
+type Grid struct {
+	NX     int // global (and local) columns
+	NY     int // global rows
+	LY     int // local real rows (NY / ranks)
+	Rank   int // slab index
+	Ranks  int // slabs
+	Y0     int // first global row of this slab
+	fields map[string][]float64
+}
+
+// Field names used by the solvers.
+const (
+	FEx, FEy, FEz = "Ex", "Ey", "Ez"
+	FBx, FBy, FBz = "Bx", "By", "Bz"
+	FRho          = "Rho"
+	FJx, FJy, FJz = "Jx", "Jy", "Jz"
+	// FRhoE is the electron charge-density magnitude, the moment the
+	// implicit-moment field solver needs to assemble the plasma
+	// susceptibility of its implicit operator.
+	FRhoE = "RhoE"
+)
+
+// FieldNames lists the electromagnetic field components.
+var FieldNames = []string{FEx, FEy, FEz, FBx, FBy, FBz}
+
+// MomentNames lists the particle-moment components shipped from the particle
+// solver to the field solver (the ρ,J of Fig. 5, plus the electron density
+// for the susceptibility assembly).
+var MomentNames = []string{FRho, FJx, FJy, FJz, FRhoE}
+
+// NewGrid builds the slab for the given rank.
+func NewGrid(nx, ny, rank, ranks int) *Grid {
+	ly := ny / ranks
+	g := &Grid{
+		NX: nx, NY: ny, LY: ly,
+		Rank: rank, Ranks: ranks, Y0: rank * ly,
+		fields: map[string][]float64{},
+	}
+	for _, name := range FieldNames {
+		g.fields[name] = make([]float64, nx*(ly+2))
+	}
+	for _, name := range MomentNames {
+		g.fields[name] = make([]float64, nx*(ly+2))
+	}
+	return g
+}
+
+// F returns the named field array (with ghost rows).
+func (g *Grid) F(name string) []float64 { return g.fields[name] }
+
+// Idx converts local coordinates (ix in [0,NX), iy in [0, LY+2)) to the array
+// index; iy=0 and iy=LY+1 are the ghost rows.
+func (g *Grid) Idx(ix, iy int) int { return iy*g.NX + ix }
+
+// WrapX wraps a column index periodically.
+func (g *Grid) WrapX(ix int) int {
+	ix %= g.NX
+	if ix < 0 {
+		ix += g.NX
+	}
+	return ix
+}
+
+// Row returns a copy of row iy of the named field (real row indices 1..LY,
+// ghosts 0 and LY+1).
+func (g *Grid) Row(name string, iy int) []float64 {
+	a := g.F(name)
+	out := make([]float64, g.NX)
+	copy(out, a[g.Idx(0, iy):g.Idx(0, iy)+g.NX])
+	return out
+}
+
+// SetRow overwrites row iy of the named field.
+func (g *Grid) SetRow(name string, iy int, row []float64) {
+	a := g.F(name)
+	copy(a[g.Idx(0, iy):g.Idx(0, iy)+g.NX], row)
+}
+
+// AddRow accumulates into row iy of the named field.
+func (g *Grid) AddRow(name string, iy int, row []float64) {
+	a := g.F(name)
+	base := g.Idx(0, iy)
+	for i, v := range row {
+		a[base+i] += v
+	}
+}
+
+// ClearGhosts zeroes the ghost rows of the named fields.
+func (g *Grid) ClearGhosts(names ...string) {
+	for _, name := range names {
+		a := g.F(name)
+		for ix := 0; ix < g.NX; ix++ {
+			a[g.Idx(ix, 0)] = 0
+			a[g.Idx(ix, g.LY+1)] = 0
+		}
+	}
+}
+
+// Zero clears the named fields entirely (ghosts included).
+func (g *Grid) Zero(names ...string) {
+	for _, name := range names {
+		a := g.F(name)
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+// Halo communication tags (user tag space).
+const (
+	tagHaloUp   = 1 // payload travelling towards higher slab index
+	tagHaloDown = 2
+	tagMomUp    = 3
+	tagMomDown  = 4
+	tagPartUp   = 5
+	tagPartDown = 6
+	tagPartCnt  = 7
+	tagIfaceF   = 8 // interface buffer: fields Cluster → Booster
+	tagIfaceM   = 9 // interface buffer: moments Booster → Cluster
+)
+
+// up/down neighbours in the periodic slab ring.
+func (g *Grid) up() int   { return (g.Rank + 1) % g.Ranks }
+func (g *Grid) down() int { return (g.Rank - 1 + g.Ranks) % g.Ranks }
+
+// ExchangeHalos fills the ghost rows of the named fields from the
+// neighbouring slabs (periodic): ghost 0 receives the neighbour-below's top
+// row, ghost LY+1 the neighbour-above's bottom row. All components are packed
+// into one message per direction, as the real code does.
+//
+// p is the calling rank's process and comm the solver communicator; with one
+// rank the exchange degenerates to a local periodic copy.
+func (g *Grid) ExchangeHalos(p *psmpi.Proc, comm *psmpi.Comm, names ...string) {
+	if g.Ranks == 1 {
+		for _, name := range names {
+			g.SetRow(name, 0, g.Row(name, g.LY))
+			g.SetRow(name, g.LY+1, g.Row(name, 1))
+		}
+		return
+	}
+	pack := func(iy int) []float64 {
+		buf := make([]float64, 0, len(names)*g.NX)
+		for _, name := range names {
+			buf = append(buf, g.Row(name, iy)...)
+		}
+		return buf
+	}
+	unpack := func(iy int, buf []float64) {
+		for i, name := range names {
+			g.SetRow(name, iy, buf[i*g.NX:(i+1)*g.NX])
+		}
+	}
+	// Top real row travels up (becomes up-neighbour's ghost 0);
+	// bottom real row travels down (becomes down-neighbour's ghost LY+1).
+	reqUp := p.IsendF64(comm, g.up(), tagHaloUp, pack(g.LY))
+	reqDn := p.IsendF64(comm, g.down(), tagHaloDown, pack(1))
+	fromDn, _ := p.Recv(comm, g.down(), tagHaloUp)
+	unpack(0, fromDn.([]float64))
+	fromUp, _ := p.Recv(comm, g.up(), tagHaloDown)
+	unpack(g.LY+1, fromUp.([]float64))
+	p.Waitall(reqUp, reqDn)
+}
+
+// ReduceMomentHalos sends the deposits accumulated in the ghost rows to the
+// neighbours that own those rows, where they are added to the boundary real
+// rows, and clears the ghosts — the "halo add" step after moment gathering.
+func (g *Grid) ReduceMomentHalos(p *psmpi.Proc, comm *psmpi.Comm) {
+	names := MomentNames
+	if g.Ranks == 1 {
+		for _, name := range names {
+			g.AddRow(name, g.LY, g.Row(name, 0))
+			g.AddRow(name, 1, g.Row(name, g.LY+1))
+		}
+		g.ClearGhosts(names...)
+		return
+	}
+	pack := func(iy int) []float64 {
+		buf := make([]float64, 0, len(names)*g.NX)
+		for _, name := range names {
+			buf = append(buf, g.Row(name, iy)...)
+		}
+		return buf
+	}
+	// Ghost LY+1 holds deposits belonging to the up-neighbour's row 1;
+	// ghost 0 belongs to the down-neighbour's row LY.
+	reqUp := p.IsendF64(comm, g.up(), tagMomUp, pack(g.LY+1))
+	reqDn := p.IsendF64(comm, g.down(), tagMomDown, pack(0))
+	fromDn, _ := p.Recv(comm, g.down(), tagMomUp)
+	buf := fromDn.([]float64)
+	for i, name := range names {
+		g.AddRow(name, 1, buf[i*g.NX:(i+1)*g.NX])
+	}
+	fromUp, _ := p.Recv(comm, g.up(), tagMomDown)
+	buf = fromUp.([]float64)
+	for i, name := range names {
+		g.AddRow(name, g.LY, buf[i*g.NX:(i+1)*g.NX])
+	}
+	p.Waitall(reqUp, reqDn)
+	g.ClearGhosts(names...)
+}

@@ -1,0 +1,42 @@
+package xpic
+
+import (
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+)
+
+// Interface buffers (Fig. 5 of the paper): the field solver and the particle
+// solver do not touch each other's data structures; they communicate through
+// flat pack/unpack buffers. In mono mode the buffer stays in memory (the
+// cpyToArr/cpyFromArr calls of Listing 1); in Cluster-Booster mode the same
+// buffers are the payload of the inter-communicator messages (Listings 2–4).
+
+// packFields serialises the local real rows of the named fields into one
+// flat buffer and charges the copy cost (cpyToArr).
+func packFields(p *psmpi.Proc, g *Grid, names []string) []float64 {
+	buf := make([]float64, 0, len(names)*g.NX*g.LY)
+	for _, name := range names {
+		a := g.F(name)
+		for iy := 1; iy <= g.LY; iy++ {
+			base := g.Idx(0, iy)
+			buf = append(buf, a[base:base+g.NX]...)
+		}
+	}
+	p.Compute(machine.Work{Class: machine.KernelStream, Bytes: float64(8 * len(buf))})
+	return buf
+}
+
+// unpackFields deserialises a flat buffer into the local real rows of the
+// named fields and charges the copy cost (cpyFromArr).
+func unpackFields(p *psmpi.Proc, g *Grid, names []string, buf []float64) {
+	i := 0
+	for _, name := range names {
+		a := g.F(name)
+		for iy := 1; iy <= g.LY; iy++ {
+			base := g.Idx(0, iy)
+			copy(a[base:base+g.NX], buf[i:i+g.NX])
+			i += g.NX
+		}
+	}
+	p.Compute(machine.Work{Class: machine.KernelStream, Bytes: float64(8 * i)})
+}

@@ -1,0 +1,96 @@
+package xpic
+
+import (
+	"fmt"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/vclock"
+)
+
+// RunMono executes xPic in its traditional configuration (Listing 1 of the
+// paper): field solver and particle solver run on the same set of nodes,
+// communicating through the in-memory interface buffers. Passing Cluster
+// nodes yields the paper's "Cluster" scenario, Booster nodes the "Booster"
+// scenario.
+func RunMono(rt *psmpi.Runtime, nodes []*machine.Node, cfg Config) (Report, error) {
+	if len(nodes) == 0 {
+		return Report{}, fmt.Errorf("xpic: no nodes")
+	}
+	if err := cfg.Validate(len(nodes)); err != nil {
+		return Report{}, err
+	}
+	mode := ClusterOnly
+	if nodes[0].Module == machine.Booster {
+		mode = BoosterOnly
+	}
+	s := &sink{rep: Report{Mode: mode, RanksPerSolver: len(nodes), Steps: cfg.Steps}}
+
+	res, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: nodes,
+		Main: func(p *psmpi.Proc) error {
+			return monoMain(p, cfg, s)
+		},
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	s.finalize(len(nodes))
+	s.rep.Makespan = res.Makespan
+	return s.rep, nil
+}
+
+// phase measures the virtual time of fn on rank p.
+func phase(p *psmpi.Proc, acc *vclock.Time, fn func()) {
+	start := p.Now()
+	fn()
+	*acc += p.Now() - start
+}
+
+// monoMain is the Listing 1 main loop, built on the steppable Sim.
+func monoMain(p *psmpi.Proc, cfg Config, s *sink) error {
+	comm := p.World()
+	sim := NewSim(p, comm, cfg)
+	for sim.Step < cfg.Steps {
+		sim.Advance(p, comm)
+		if cfg.Verbose && p.Rank() == 0 && (sim.Step-1)%50 == 0 {
+			fmt.Printf("xpic[mono] step %4d  E_fld=%.6g  E_kin=%.6g  CG=%d\n",
+				sim.Step-1, sim.FieldE, sim.KinE, sim.Fld.LastIters)
+		}
+	}
+	reportSim(p, comm, sim, s)
+	return nil
+}
+
+// reportSim folds a finished Sim into the run report: final-state energy
+// diagnostics (computed identically in mono and split modes) plus per-phase
+// times and physics fingerprints.
+func reportSim(p *psmpi.Proc, comm *psmpi.Comm, sim *Sim, s *sink) {
+	finalField := p.AllreduceScalar(comm, sim.Fld.FieldEnergy(p), psmpi.OpSum)
+	finalKin := p.AllreduceScalar(comm, sim.Pcl.KineticEnergy(p), psmpi.OpSum)
+	s.addTimes(sim.T, sim.CGIters)
+	s.addPhysics(p.Rank(), pickRank0(p, finalField), pickRank0(p, finalKin),
+		sim.Pcl.TotalCharge(), sim.Checksum())
+}
+
+// pickRank0 keeps globally-reduced diagnostics from rank 0 only (they are
+// identical on all ranks after the allreduce).
+func pickRank0(p *psmpi.Proc, v float64) float64 {
+	if p.Rank() == 0 {
+		return v
+	}
+	return 0
+}
+
+// checksum produces a deterministic physics fingerprint of this rank's
+// particles, used to verify that mono and split modes compute identical
+// trajectories.
+func checksum(pcl *ParticleSolver) float64 {
+	var sum float64
+	for _, sp := range pcl.Species {
+		for i := range sp.X {
+			sum += sp.X[i] + 2*sp.Y[i] + 3*sp.VX[i] + 5*sp.VY[i] + 7*sp.VZ[i]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,337 @@
+package xpic
+
+import (
+	"math"
+	"math/rand"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+)
+
+// Flop-count constants per macro-particle for the virtual cost model,
+// derived from the arithmetic of the mover and the moment gathering.
+const (
+	flopsWeights = 10.0 // bilinear weights
+	flopsGather  = 48.0 // 6 field components × 4 corners × 2 flops
+	flopsBoris   = 42.0 // half-kicks + rotation
+	flopsPush    = 8.0  // position update + periodic wrap
+	flopsMoments = 42.0 // weights + 4 moments × 4 corners × 2 flops
+	// flopsRhoEDeposit is the extra electron-density deposit feeding the
+	// implicit susceptibility.
+	flopsRhoEDeposit = 8.0
+	// flopsMigrateScan is the per-particle boundary check + compaction move
+	// of the migration pass.
+	flopsMigrateScan = 4.0
+	flopsMovePart    = flopsWeights + flopsGather + flopsBoris + flopsPush
+)
+
+// Species holds one plasma species' macro-particles on one rank, stored as
+// structure-of-arrays, the layout the vectorised particle solver favours.
+type Species struct {
+	Spec SpeciesSpec
+	// Q is the macro-particle charge (statistical weight included).
+	Q float64
+	// Positions are global coordinates: x in [0,NX), y in [0,NY).
+	X, Y       []float64
+	VX, VY, VZ []float64
+}
+
+// N returns the number of macro-particles currently on this rank.
+func (s *Species) N() int { return len(s.X) }
+
+// ParticleSolver implements the pcl object of Listing 1: Newton's equation
+// for every particle (ParticlesMove) and the statistical moment gathering
+// (ParticleMoments) — the embarrassingly parallel, wide-vector workload the
+// paper assigns to the Booster.
+type ParticleSolver struct {
+	g       *Grid
+	cfg     Config
+	Species []*Species
+	// scale is the statistical weight multiplier (ParticleScale).
+	scale float64
+}
+
+// NewParticleSolver initialises the particles of this rank's slab: uniform
+// positions within the slab, Maxwellian velocities, deterministic per
+// (seed, species, rank) — so a decomposition runs identically in mono and
+// split modes.
+func NewParticleSolver(g *Grid, cfg Config) *ParticleSolver {
+	ps := &ParticleSolver{g: g, cfg: cfg, scale: float64(cfg.ParticleScale)}
+	ppcSpecies := cfg.PPC / len(cfg.Species)
+	perRankCells := g.NX * g.LY
+	base := perRankCells * ppcSpecies / cfg.ParticleScale
+	// Density profile 1 + A·sin(2πy/NY): this slab's share is the profile
+	// integrated over its rows. Both species share the profile, preserving
+	// quasi-neutrality everywhere.
+	share := slabDensityShare(cfg.DensityPerturbation, g)
+	actualPerSpecies := int(math.Round(float64(base) * share))
+	for si, spec := range cfg.Species {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(si)*1009 + int64(g.Rank)*9973))
+		sp := &Species{
+			Spec: spec,
+			// Unit mean density per species: per-cell charge ±1 split over
+			// the actual macro-particles, weight-corrected by the scale.
+			Q:  spec.ChargeSign * float64(cfg.ParticleScale) / float64(ppcSpecies),
+			X:  make([]float64, actualPerSpecies),
+			Y:  make([]float64, actualPerSpecies),
+			VX: make([]float64, actualPerSpecies),
+			VY: make([]float64, actualPerSpecies),
+			VZ: make([]float64, actualPerSpecies),
+		}
+		for i := 0; i < actualPerSpecies; i++ {
+			sp.X[i] = rng.Float64() * float64(g.NX)
+			sp.Y[i] = sampleY(rng, cfg.DensityPerturbation, g)
+			sp.VX[i] = rng.NormFloat64() * spec.Vth
+			sp.VY[i] = rng.NormFloat64() * spec.Vth
+			sp.VZ[i] = rng.NormFloat64() * spec.Vth
+		}
+		ps.Species = append(ps.Species, sp)
+	}
+	return ps
+}
+
+// slabDensityShare integrates the density profile over this slab's rows,
+// relative to a uniform plasma.
+func slabDensityShare(a float64, g *Grid) float64 {
+	if a == 0 {
+		return 1
+	}
+	k := 2 * math.Pi / float64(g.NY)
+	y0, y1 := float64(g.Y0), float64(g.Y0+g.LY)
+	// ∫(1 + A·sin(ky))dy over [y0,y1], divided by the slab height.
+	integral := (y1 - y0) + a/k*(math.Cos(k*y0)-math.Cos(k*y1))
+	return integral / (y1 - y0)
+}
+
+// sampleY draws a y position within the slab from the density profile by
+// rejection sampling (bounded: the profile is within [1-A, 1+A]).
+func sampleY(rng *rand.Rand, a float64, g *Grid) float64 {
+	lo, span := float64(g.Y0), float64(g.LY)
+	if a == 0 {
+		return lo + rng.Float64()*span
+	}
+	k := 2 * math.Pi / float64(g.NY)
+	for {
+		y := lo + rng.Float64()*span
+		if rng.Float64()*(1+a) <= 1+a*math.Sin(k*y) {
+			return y
+		}
+	}
+}
+
+// TotalN returns the actual macro-particle count on this rank (all species).
+func (ps *ParticleSolver) TotalN() int {
+	n := 0
+	for _, s := range ps.Species {
+		n += s.N()
+	}
+	return n
+}
+
+// interp evaluates a field at (x, y) with bilinear (cloud-in-cell)
+// interpolation. Coordinates are global; y must lie within this slab
+// (ghost rows supply the upper neighbour's values).
+func (ps *ParticleSolver) interp(a []float64, x, y float64) float64 {
+	g := ps.g
+	// Local y: row 1 covers global [Y0, Y0+1).
+	ly := y - float64(g.Y0) + 1
+	ix := int(math.Floor(x))
+	iy := int(math.Floor(ly))
+	fx := x - float64(ix)
+	fy := ly - float64(iy)
+	i00 := g.Idx(g.WrapX(ix), iy)
+	i10 := g.Idx(g.WrapX(ix+1), iy)
+	i01 := g.Idx(g.WrapX(ix), iy+1)
+	i11 := g.Idx(g.WrapX(ix+1), iy+1)
+	return a[i00]*(1-fx)*(1-fy) + a[i10]*fx*(1-fy) + a[i01]*(1-fx)*fy + a[i11]*fx*fy
+}
+
+// deposit adds w·weight to the four cells around (x, y) of field a.
+func (ps *ParticleSolver) deposit(a []float64, x, y, w float64) {
+	g := ps.g
+	ly := y - float64(g.Y0) + 1
+	ix := int(math.Floor(x))
+	iy := int(math.Floor(ly))
+	fx := x - float64(ix)
+	fy := ly - float64(iy)
+	a[g.Idx(g.WrapX(ix), iy)] += w * (1 - fx) * (1 - fy)
+	a[g.Idx(g.WrapX(ix+1), iy)] += w * fx * (1 - fy)
+	a[g.Idx(g.WrapX(ix), iy+1)] += w * (1 - fx) * fy
+	a[g.Idx(g.WrapX(ix+1), iy+1)] += w * fx * fy
+}
+
+// Move advances all particles one step with the Boris scheme under the
+// current E and B (ParticlesMove of Listing 1) and charges the particle
+// kernel cost for the *configured* particle count (scale-invariant timing).
+func (ps *ParticleSolver) Move(p *psmpi.Proc) {
+	g := ps.g
+	dt := ps.cfg.Dt
+	ex, ey, ez := g.F(FEx), g.F(FEy), g.F(FEz)
+	bx, by, bz := g.F(FBx), g.F(FBy), g.F(FBz)
+	nx, ny := float64(g.NX), float64(g.NY)
+	for _, s := range ps.Species {
+		qmdt2 := s.Spec.QoverM * dt / 2
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			eix := ps.interp(ex, x, y)
+			eiy := ps.interp(ey, x, y)
+			eiz := ps.interp(ez, x, y)
+			bix := ps.interp(bx, x, y)
+			biy := ps.interp(by, x, y)
+			biz := ps.interp(bz, x, y)
+			// Boris: half electric kick, magnetic rotation, half kick.
+			vx := s.VX[i] + qmdt2*eix
+			vy := s.VY[i] + qmdt2*eiy
+			vz := s.VZ[i] + qmdt2*eiz
+			tx, ty, tz := qmdt2*bix, qmdt2*biy, qmdt2*biz
+			t2 := tx*tx + ty*ty + tz*tz
+			sx, sy, sz := 2*tx/(1+t2), 2*ty/(1+t2), 2*tz/(1+t2)
+			// v' = v + v×t ; v+ = v + v'×s
+			px := vx + vy*tz - vz*ty
+			py := vy + vz*tx - vx*tz
+			pz := vz + vx*ty - vy*tx
+			vx += py*sz - pz*sy
+			vy += pz*sx - px*sz
+			vz += px*sy - py*sx
+			vx += qmdt2 * eix
+			vy += qmdt2 * eiy
+			vz += qmdt2 * eiz
+			s.VX[i], s.VY[i], s.VZ[i] = vx, vy, vz
+			// Position push with periodic wrap (Mod keeps the wrap O(1)
+			// even for pathological velocities).
+			x = math.Mod(x+vx*dt, nx)
+			if x < 0 {
+				x += nx
+			}
+			y = math.Mod(y+vy*dt, ny)
+			if y < 0 {
+				y += ny
+			}
+			s.X[i], s.Y[i] = x, y
+		}
+	}
+	p.Compute(machine.Work{Class: machine.KernelParticle,
+		Flops: flopsMovePart * float64(ps.TotalN()) * ps.scale})
+}
+
+// Gather deposits the charge density and current of all species (the
+// moment gathering of Listing 1). Deposits land in local and ghost rows;
+// call Grid.ReduceMomentHalos afterwards.
+func (ps *ParticleSolver) Gather(p *psmpi.Proc) {
+	g := ps.g
+	g.Zero(MomentNames...)
+	rho, jx, jy, jz := g.F(FRho), g.F(FJx), g.F(FJy), g.F(FJz)
+	rhoe := g.F(FRhoE)
+	var flops float64
+	for _, s := range ps.Species {
+		electron := s.Spec.QoverM < -0.5
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			ps.deposit(rho, x, y, s.Q)
+			ps.deposit(jx, x, y, s.Q*s.VX[i])
+			ps.deposit(jy, x, y, s.Q*s.VY[i])
+			ps.deposit(jz, x, y, s.Q*s.VZ[i])
+			if electron {
+				// Electron density for the field solver's susceptibility.
+				ps.deposit(rhoe, x, y, -s.Q)
+			}
+		}
+		perPart := flopsMoments
+		if electron {
+			perPart += flopsRhoEDeposit
+		}
+		flops += perPart * float64(s.N()) * ps.scale
+	}
+	p.Compute(machine.Work{Class: machine.KernelParticle, Flops: flops})
+}
+
+// Migrate moves particles that left this slab to the owning neighbour rank
+// (only nearest-neighbour moves can occur per step: the slab height always
+// exceeds vmax·dt for the configured workloads). With one rank it is a no-op
+// (periodic wrap already applied).
+func (ps *ParticleSolver) Migrate(p *psmpi.Proc, comm *psmpi.Comm) {
+	g := ps.g
+	if g.Ranks == 1 {
+		return
+	}
+	// The boundary scan + compaction touches every particle (cost charged
+	// for the configured count, like the other particle kernels).
+	p.Compute(machine.Work{Class: machine.KernelParticle,
+		Flops: flopsMigrateScan * float64(ps.TotalN()) * ps.scale})
+	yLo, yHi := float64(g.Y0), float64(g.Y0+g.LY)
+	var upBuf, dnBuf []float64 // 6 floats per particle: species, x, y, vx, vy, vz
+	for si, s := range ps.Species {
+		kept := 0
+		for i := 0; i < s.N(); i++ {
+			y := s.Y[i]
+			inside := y >= yLo && y < yHi
+			if inside {
+				s.X[kept], s.Y[kept] = s.X[i], s.Y[i]
+				s.VX[kept], s.VY[kept], s.VZ[kept] = s.VX[i], s.VY[i], s.VZ[i]
+				kept++
+				continue
+			}
+			rec := []float64{float64(si), s.X[i], s.Y[i], s.VX[i], s.VY[i], s.VZ[i]}
+			// Decide direction in the periodic ring: the owner is above when
+			// y is in the up-neighbour's slab (wrapping at the top).
+			if owner := int(y) / g.LY; owner == g.up() {
+				upBuf = append(upBuf, rec...)
+			} else if owner == g.down() {
+				dnBuf = append(dnBuf, rec...)
+			} else if y >= float64(g.NY)-0.5 && g.down() == g.Ranks-1 {
+				dnBuf = append(dnBuf, rec...)
+			} else {
+				upBuf = append(upBuf, rec...)
+			}
+		}
+		s.X, s.Y = s.X[:kept], s.Y[:kept]
+		s.VX, s.VY, s.VZ = s.VX[:kept], s.VY[:kept], s.VZ[:kept]
+	}
+	// Exchange with both neighbours (counts travel with the payload).
+	reqUp := p.IsendF64(comm, g.up(), tagPartUp, upBuf)
+	reqDn := p.IsendF64(comm, g.down(), tagPartDown, dnBuf)
+	fromDn, _ := p.Recv(comm, g.down(), tagPartUp)
+	ps.absorb(fromDn.([]float64))
+	fromUp, _ := p.Recv(comm, g.up(), tagPartDown)
+	ps.absorb(fromUp.([]float64))
+	p.Waitall(reqUp, reqDn)
+}
+
+// absorb appends migrated particle records to the local species.
+func (ps *ParticleSolver) absorb(buf []float64) {
+	for i := 0; i+5 < len(buf); i += 6 {
+		s := ps.Species[int(buf[i])]
+		s.X = append(s.X, buf[i+1])
+		s.Y = append(s.Y, buf[i+2])
+		s.VX = append(s.VX, buf[i+3])
+		s.VY = append(s.VY, buf[i+4])
+		s.VZ = append(s.VZ, buf[i+5])
+	}
+}
+
+// KineticEnergy returns ½ Σ m v² over this rank's particles (statistical
+// weight applied) and charges the auxiliary compute cost.
+func (ps *ParticleSolver) KineticEnergy(p *psmpi.Proc) float64 {
+	var sum float64
+	for _, s := range ps.Species {
+		mass := math.Abs(1 / s.Spec.QoverM) // |q|=..., m = |q/qom|; with |q| folded into Q
+		w := math.Abs(s.Q) * mass
+		for i := range s.X {
+			sum += w * (s.VX[i]*s.VX[i] + s.VY[i]*s.VY[i] + s.VZ[i]*s.VZ[i])
+		}
+	}
+	// A straight streaming reduction over the particle arrays: vectorises
+	// like the particle kernels. Costed for the configured particle count.
+	p.Compute(machine.Work{Class: machine.KernelParticle,
+		Flops: 7 * float64(ps.TotalN()) * ps.scale})
+	return 0.5 * sum
+}
+
+// TotalCharge sums the macro-charge on this rank (conservation diagnostic).
+func (ps *ParticleSolver) TotalCharge() float64 {
+	var sum float64
+	for _, s := range ps.Species {
+		sum += s.Q * float64(s.N())
+	}
+	return sum
+}

@@ -1,0 +1,153 @@
+package xpic
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterbooster/internal/vclock"
+)
+
+// Mode identifies an execution scenario of §IV-C.
+type Mode int
+
+const (
+	// ClusterOnly runs both solvers on Cluster nodes (the "Cluster" bars).
+	ClusterOnly Mode = iota
+	// BoosterOnly runs both solvers on Booster nodes (the "Booster" bars).
+	BoosterOnly
+	// SplitCB runs the field solver on the Cluster and the particle solver
+	// on the Booster (the "C+B" bars).
+	SplitCB
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ClusterOnly:
+		return "Cluster"
+	case BoosterOnly:
+		return "Booster"
+	case SplitCB:
+		return "C+B"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Report is the outcome of one xPic run — the quantities behind Fig. 7
+// (per-solver runtimes) and Fig. 8 (total runtime and parallel efficiency).
+type Report struct {
+	Mode           Mode
+	RanksPerSolver int
+	Steps          int
+
+	// Makespan is the job's total virtual runtime (the "Total" bar).
+	Makespan vclock.Time
+	// FieldTime and ParticleTime are the per-solver runtimes (max over
+	// ranks of the accumulated solver phases, including solver-internal
+	// communication — how the paper attributes Fig. 7's bars).
+	FieldTime    vclock.Time
+	ParticleTime vclock.Time
+	// ExchangeTime is the interface-buffer exchange cost; in split mode the
+	// Cluster↔Booster MPI overhead the paper quotes as 3–4 %.
+	ExchangeTime vclock.Time
+	// AuxTime covers the auxiliary computations (energies, diagnostics).
+	AuxTime vclock.Time
+
+	// CGIters is the total CG iteration count of the field solver.
+	CGIters int
+
+	// Physics diagnostics (identical across modes for identical configs).
+	FieldEnergy   float64
+	KineticEnergy float64
+	TotalCharge   float64
+	Checksum      float64
+}
+
+// ExchangeFraction returns the raw exchange share of the makespan. Note that
+// in split mode each side's exchange window includes waiting for the *other*
+// solver to produce its data (the pipeline structure of Listings 2–3), so for
+// the paper's communication-overhead metric use OverheadFraction.
+func (r Report) ExchangeFraction() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return r.ExchangeTime.Seconds() / r.Makespan.Seconds()
+}
+
+// OverheadFraction returns the share of the total runtime spent neither in
+// the field solver nor in the particle solver: transfers, synchronisation
+// and unoverlapped auxiliaries. This is the observable behind the paper's
+// "3% to 4% overhead per solver" statement — in C+B mode the two solvers
+// alternate, so everything beyond their sum is coupling overhead.
+func (r Report) OverheadFraction() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	over := r.Makespan - r.FieldTime - r.ParticleTime
+	if over < 0 {
+		return 0
+	}
+	return over.Seconds() / r.Makespan.Seconds()
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%-7s N=%d  total=%8.2fs  fields=%7.2fs  particles=%7.2fs  exch=%5.2fs (%4.1f%%)",
+		r.Mode, r.RanksPerSolver, r.Makespan.Seconds(), r.FieldTime.Seconds(),
+		r.ParticleTime.Seconds(), r.ExchangeTime.Seconds(), 100*r.ExchangeFraction())
+}
+
+// sink collects per-rank contributions into a report, from concurrent rank
+// goroutines.
+type sink struct {
+	mu     sync.Mutex
+	rep    Report
+	charge map[int]float64
+	check  map[int]float64
+}
+
+// addTimes merges one rank's phase times (keeping per-phase maxima — ranks
+// are symmetric, the slowest defines the bar) and accumulates diagnostics.
+func (s *sink) addTimes(t Times, cgIters int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rep.FieldTime = vclock.Max(s.rep.FieldTime, t.Field)
+	s.rep.ParticleTime = vclock.Max(s.rep.ParticleTime, t.Particle)
+	s.rep.ExchangeTime = vclock.Max(s.rep.ExchangeTime, t.Exchange)
+	s.rep.AuxTime = vclock.Max(s.rep.AuxTime, t.Aux)
+	if cgIters > s.rep.CGIters {
+		s.rep.CGIters = cgIters
+	}
+}
+
+// addPhysics records one rank's diagnostics. Per-rank values are kept and
+// folded in rank order by finalize, so cross-rank float summation is
+// deterministic regardless of goroutine completion order.
+func (s *sink) addPhysics(rank int, fieldE, kinE, charge, checksum float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fieldE != 0 {
+		s.rep.FieldEnergy = fieldE
+	}
+	if kinE != 0 {
+		s.rep.KineticEnergy = kinE
+	}
+	if s.charge == nil {
+		s.charge = map[int]float64{}
+		s.check = map[int]float64{}
+	}
+	s.charge[rank] += charge
+	s.check[rank] += checksum
+}
+
+// finalize folds per-rank diagnostics in rank order.
+func (s *sink) finalize(ranks int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rep.TotalCharge, s.rep.Checksum = 0, 0
+	for r := 0; r < ranks; r++ {
+		s.rep.TotalCharge += s.charge[r]
+		s.rep.Checksum += s.check[r]
+	}
+}
