@@ -1,19 +1,28 @@
 // Command deepsim regenerates the tables and figures of "Application
 // performance on a Cluster-Booster system" on the simulated DEEP-ER
-// prototype.
+// prototype, and runs declarative scenario sweeps over the evaluation space.
 //
 // Usage:
 //
 //	deepsim [flags] table1|table2|fig3|fig7|fig8|all
+//	deepsim -sweep [flags]
 //
 // Flags:
 //
 //	-quick     run reduced workloads (seconds instead of minutes)
 //	-steps N   override the xPic step count
 //	-scale K   override the particle fidelity divisor
+//	-sweep     run the paper's full evaluation grid through the sweep engine
+//	-scr       add the SCR checkpoint-level axis to the sweep
+//	-workers N bound the sweep worker pool (0 = GOMAXPROCS)
+//	-json      emit sweep results as JSON instead of text
+//	-csv       emit sweep results as CSV instead of text
+//	-v         print per-scenario progress to stderr
 //
-// The output prints the measured series next to the paper's reference
-// values; EXPERIMENTS.md records a full run.
+// The figure targets print the measured series next to the paper's reference
+// values; EXPERIMENTS.md records a full run. The sweep output is
+// deterministic: the same grid always produces byte-identical JSON,
+// regardless of -workers.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 
 	"clusterbooster/internal/bench"
+	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/xpic"
 )
 
@@ -29,15 +39,18 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
 	steps := flag.Int("steps", 0, "override xPic step count")
 	scale := flag.Int("scale", 0, "override particle fidelity divisor")
+	doSweep := flag.Bool("sweep", false, "run the paper's evaluation grid through the sweep engine")
+	withSCR := flag.Bool("scr", false, "add the SCR checkpoint-level axis to the sweep")
+	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit sweep results as JSON")
+	asCSV := flag.Bool("csv", false, "emit sweep results as CSV")
+	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] table1|table2|fig3|fig7|fig8|all\n")
+		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	cfg := xpic.Table2Config()
 	if *quick {
@@ -49,6 +62,27 @@ func main() {
 	}
 	if *scale > 0 {
 		cfg.ParticleScale = *scale
+	}
+
+	if *doSweep {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runSweep(cfg, *withSCR, *workers, *asJSON, *asCSV, *verbose))
+	}
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for name, set := range map[string]bool{
+		"-json": *asJSON, "-csv": *asCSV, "-scr": *withSCR, "-v": *verbose,
+	} {
+		if set {
+			fmt.Fprintf(os.Stderr, "deepsim: %s requires -sweep\n", name)
+			os.Exit(2)
+		}
 	}
 
 	target := flag.Arg(0)
@@ -71,7 +105,7 @@ func main() {
 		return nil
 	})
 	run("fig3", func() error {
-		rows, err := bench.Fig3()
+		rows, err := bench.Fig3Sweep(bench.Fig3Sizes(), *workers)
 		if err != nil {
 			return err
 		}
@@ -79,7 +113,7 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		res, err := bench.Fig7(cfg)
+		res, err := bench.Fig7Sweep(cfg, *workers)
 		if err != nil {
 			return err
 		}
@@ -87,7 +121,7 @@ func main() {
 		return nil
 	})
 	run("fig8", func() error {
-		res, err := bench.Fig8(cfg, []int{1, 2, 4, 8})
+		res, err := bench.Fig8Sweep(cfg, []int{1, 2, 4, 8}, *workers)
 		if err != nil {
 			return err
 		}
@@ -101,4 +135,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSweep expands the paper grid and executes it on the worker pool.
+func runSweep(cfg xpic.Config, withSCR bool, workers int, asJSON, asCSV, verbose bool) int {
+	grid := bench.PaperGrid(cfg, withSCR)
+	scenarios, err := grid.Scenarios()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+		return 1
+	}
+	opts := sweep.Options{Workers: workers}
+	if verbose {
+		opts.Observer = func(ev sweep.Event) {
+			switch ev.Kind {
+			case sweep.ScenarioStart:
+				fmt.Fprintf(os.Stderr, "deepsim: start %s\n", ev.Name)
+			case sweep.ScenarioDone:
+				status := "done "
+				if ev.Err != nil {
+					status = "FAIL "
+				}
+				fmt.Fprintf(os.Stderr, "deepsim: %s %s\n", status, ev.Name)
+			}
+		}
+	}
+	rs := sweep.Run(scenarios, opts)
+	switch {
+	case asJSON:
+		if err := rs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+			return 1
+		}
+	case asCSV:
+		if err := rs.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Print(rs.RenderText())
+	}
+	if rs.Failures > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,31 +1,73 @@
 // Command fabbench runs fabric microbenchmarks on the simulated EXTOLL
-// network: ping-pong latency and stream bandwidth between any node-type pair
-// (the measurements of Fig. 3), plus RDMA to the network-attached memory.
+// network: ping-pong latency and stream bandwidth between every node-type
+// pair (the measurements of Fig. 3), driven through the sweep engine, plus
+// RDMA to the network-attached memory.
+//
+// Usage:
+//
+//	fabbench [-sizes 64,4096,1048576] [-workers N] [-json|-csv] [-nam]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/nam"
+	"clusterbooster/internal/sweep"
 )
 
 func main() {
-	sizes := flag.String("sizes", "", "comma-separated message sizes (default: Fig. 3 sweep)")
+	sizesFlag := flag.String("sizes", "", "comma-separated message sizes (default: Fig. 3 sweep)")
+	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit raw sweep results as JSON")
+	asCSV := flag.Bool("csv", false, "emit raw sweep results as CSV")
 	withNAM := flag.Bool("nam", false, "also benchmark RDMA to the network-attached memory")
 	flag.Parse()
-	_ = sizes
 
-	rows, err := bench.Fig3()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+	sizes := bench.Fig3Sizes()
+	if *sizesFlag != "" {
+		var err error
+		if sizes, err = parseSizes(*sizesFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	rs := sweep.Run(bench.Fig3Scenarios(sizes), sweep.Options{Workers: *workers})
+	switch {
+	case *asJSON:
+		if err := rs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *asCSV:
+		if err := rs.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		rows, err := bench.Fig3RowsFrom(sizes, rs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RenderFig3(rows))
+	}
+	if rs.Failures > 0 {
 		os.Exit(1)
 	}
-	fmt.Println(bench.RenderFig3(rows))
 
+	if *withNAM && (*asJSON || *asCSV) {
+		// The NAM section is a human-readable table and would corrupt the
+		// machine-readable stdout document.
+		fmt.Fprintln(os.Stderr, "fabbench: -nam is text-mode only, ignored with -json/-csv")
+		*withNAM = false
+	}
 	if *withNAM {
 		sys := core.Prototype()
 		dev := nam.New(sys.Network, "nam-bench", 2<<30)
@@ -46,4 +88,23 @@ func main() {
 				float64(size)/wt.Seconds()/1e6, float64(size)/rt.Seconds()/1e6)
 		}
 	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad message size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes in %q", s)
+	}
+	return out, nil
 }

@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	xpicrun -mode cluster|booster|split -nodes N [workload flags]
+//	xpicrun -mode cluster|booster|split -nodes N [-json] [workload flags]
 //
 // Example (the paper's Fig. 7 C+B point):
 //
 //	xpicrun -mode split -nodes 1
+//
+// With -json the run is wrapped in the sweep engine's result format, so a
+// single run and a full `deepsim -sweep` are post-processable by the same
+// tooling.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/xpic"
 )
 
@@ -27,6 +32,7 @@ func main() {
 	ny := flag.Int("ny", 0, "grid cells in y")
 	ppc := flag.Int("ppc", 0, "particles per cell")
 	scale := flag.Int("scale", 0, "particle fidelity divisor")
+	asJSON := flag.Bool("json", false, "emit the run as a sweep result set (JSON)")
 	verbose := flag.Bool("v", false, "per-step diagnostics")
 	flag.Parse()
 
@@ -48,20 +54,38 @@ func main() {
 	}
 	cfg.Verbose = *verbose
 
-	sys := core.New(*nodes, *nodes, core.Options{WithoutStorage: true})
-	var rep xpic.Report
-	var err error
+	var xmode xpic.Mode
 	switch *mode {
 	case "cluster":
-		rep, err = sys.RunXPicCluster(*nodes, cfg)
+		xmode = xpic.ClusterOnly
 	case "booster":
-		rep, err = sys.RunXPicBooster(*nodes, cfg)
+		xmode = xpic.BoosterOnly
 	case "split":
-		rep, err = sys.RunXPicSplit(*nodes, cfg)
+		xmode = xpic.SplitCB
 	default:
 		fmt.Fprintf(os.Stderr, "xpicrun: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+
+	if *asJSON {
+		// Per-step diagnostics write to stdout and would corrupt the JSON
+		// document.
+		cfg.Verbose = false
+		point := sweep.XPicPoint{NodesPerSolver: *nodes, Mode: xmode, Workload: cfg}
+		name := fmt.Sprintf("xpicrun/n=%d/%v", *nodes, xmode)
+		rs := sweep.Run([]sweep.Scenario{point.Scenario(name)}, sweep.Options{Workers: 1})
+		if err := rs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xpicrun: %v\n", err)
+			os.Exit(1)
+		}
+		if rs.Failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sys := core.New(*nodes, *nodes, core.Options{WithoutStorage: true})
+	rep, err := sys.RunXPic(xmode, *nodes, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xpicrun: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module clusterbooster
+
+go 1.24

@@ -9,11 +9,17 @@ import (
 	"fmt"
 	"strings"
 
-	"clusterbooster/internal/core"
 	"clusterbooster/internal/machine"
+	"clusterbooster/internal/scr"
+	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/vclock"
 	"clusterbooster/internal/xpic"
 )
+
+// AllModes lists the three execution scenarios of §IV-C in figure order.
+func AllModes() []xpic.Mode {
+	return []xpic.Mode{xpic.ClusterOnly, xpic.BoosterOnly, xpic.SplitCB}
+}
 
 // Table1Row is one row of Table I (hardware configuration).
 type Table1Row struct {
@@ -96,21 +102,40 @@ func (r Fig7Result) GainVsBooster() float64 {
 	return r.Booster.Makespan.Seconds() / r.Split.Makespan.Seconds()
 }
 
-// Fig7 runs the three scenarios of Fig. 7 on single nodes per solver. Each
-// scenario boots a fresh system (independent fabric state), as consecutive
-// batch jobs on the prototype would see.
+// Fig7Grid declares the Fig. 7 study as a sweep grid: the three execution
+// modes on one node per solver. Each scenario boots a fresh system
+// (independent fabric state), as consecutive batch jobs on the prototype
+// would see.
+func Fig7Grid(cfg xpic.Config) sweep.Grid {
+	return sweep.Grid{
+		Name:       "fig7",
+		NodeCounts: []int{1},
+		Modes:      AllModes(),
+		Workloads:  []sweep.WorkloadVariant{{Config: cfg}},
+	}
+}
+
+// Fig7 runs the three scenarios of Fig. 7 concurrently through the sweep
+// engine (default worker pool).
 func Fig7(cfg xpic.Config) (Fig7Result, error) {
+	return Fig7Sweep(cfg, 0)
+}
+
+// Fig7Sweep is Fig7 with an explicit worker-pool bound.
+func Fig7Sweep(cfg xpic.Config, workers int) (Fig7Result, error) {
 	var out Fig7Result
-	var err error
-	if out.Cluster, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicCluster(1, cfg); err != nil {
-		return out, fmt.Errorf("bench: fig7 cluster scenario: %w", err)
+	scenarios, err := Fig7Grid(cfg).Scenarios()
+	if err != nil {
+		return out, err
 	}
-	if out.Booster, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicBooster(1, cfg); err != nil {
-		return out, fmt.Errorf("bench: fig7 booster scenario: %w", err)
+	rs := sweep.Run(scenarios, sweep.Options{Workers: workers})
+	if err := rs.FirstError(); err != nil {
+		return out, fmt.Errorf("bench: fig7: %w", err)
 	}
-	if out.Split, err = core.New(1, 1, core.Options{WithoutStorage: true}).RunXPicSplit(1, cfg); err != nil {
-		return out, fmt.Errorf("bench: fig7 C+B scenario: %w", err)
-	}
+	// Grid order: modes innermost-to-outermost as declared in Fig7Grid.
+	out.Cluster = *rs.Results[0].XPic
+	out.Booster = *rs.Results[1].XPic
+	out.Split = *rs.Results[2].XPic
 	return out, nil
 }
 
@@ -145,23 +170,43 @@ type Fig8Result struct {
 	Points []Fig8Point
 }
 
-// Fig8 runs the strong-scaling study of Fig. 8: the Table II problem on
-// 1..maxNodes nodes per solver (powers of two), in all three modes.
+// Fig8Grid declares the strong-scaling study of Fig. 8 as a sweep grid: the
+// Table II problem at each node count, in all three modes.
+func Fig8Grid(cfg xpic.Config, nodeCounts []int) sweep.Grid {
+	return sweep.Grid{
+		Name:       "fig8",
+		NodeCounts: nodeCounts,
+		Modes:      AllModes(),
+		Workloads:  []sweep.WorkloadVariant{{Config: cfg}},
+	}
+}
+
+// Fig8 runs the strong-scaling study concurrently through the sweep engine
+// (default worker pool).
 func Fig8(cfg xpic.Config, nodeCounts []int) (Fig8Result, error) {
+	return Fig8Sweep(cfg, nodeCounts, 0)
+}
+
+// Fig8Sweep is Fig8 with an explicit worker-pool bound.
+func Fig8Sweep(cfg xpic.Config, nodeCounts []int, workers int) (Fig8Result, error) {
 	var out Fig8Result
-	for _, n := range nodeCounts {
-		pt := Fig8Point{Nodes: n}
-		var err error
-		if pt.Cluster, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicCluster(n, cfg); err != nil {
-			return out, fmt.Errorf("bench: fig8 cluster n=%d: %w", n, err)
-		}
-		if pt.Booster, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicBooster(n, cfg); err != nil {
-			return out, fmt.Errorf("bench: fig8 booster n=%d: %w", n, err)
-		}
-		if pt.Split, err = core.New(n, n, core.Options{WithoutStorage: true}).RunXPicSplit(n, cfg); err != nil {
-			return out, fmt.Errorf("bench: fig8 C+B n=%d: %w", n, err)
-		}
-		out.Points = append(out.Points, pt)
+	scenarios, err := Fig8Grid(cfg, nodeCounts).Scenarios()
+	if err != nil {
+		return out, err
+	}
+	rs := sweep.Run(scenarios, sweep.Options{Workers: workers})
+	if err := rs.FirstError(); err != nil {
+		return out, fmt.Errorf("bench: fig8: %w", err)
+	}
+	// Grid order: node counts outermost, modes in AllModes order within.
+	modes := len(AllModes())
+	for i, n := range nodeCounts {
+		out.Points = append(out.Points, Fig8Point{
+			Nodes:   n,
+			Cluster: *rs.Results[i*modes+0].XPic,
+			Booster: *rs.Results[i*modes+1].XPic,
+			Split:   *rs.Results[i*modes+2].XPic,
+		})
 	}
 	return out, nil
 }
@@ -219,6 +264,27 @@ func RenderFig8(r Fig8Result) string {
 	fmt.Fprintf(&sb, "%-40s %7.1f%% %7.1f%%\n", "Parallel efficiency Cluster", 100*r.Efficiency(xpic.ClusterOnly, last), 100*PaperFig8.EffCluster)
 	fmt.Fprintf(&sb, "%-40s %7.1f%% %7.1f%%\n", "Parallel efficiency Booster", 100*r.Efficiency(xpic.BoosterOnly, last), 100*PaperFig8.EffBooster)
 	return sb.String()
+}
+
+// PaperGrid declares the paper's full evaluation space as one sweep: the
+// workload at every Fig. 8 node count in all three modes (Fig. 7 is the
+// n=1 slice, the Table II setup parameterises the workload). With
+// checkpoints, the DEEP-ER resiliency axis (SCR levels) multiplies in.
+func PaperGrid(cfg xpic.Config, withCheckpoints bool) sweep.Grid {
+	g := sweep.Grid{
+		Name:       "paper",
+		NodeCounts: []int{1, 2, 4, 8},
+		Modes:      AllModes(),
+		Workloads:  []sweep.WorkloadVariant{{Name: "table2", Config: cfg}},
+	}
+	if withCheckpoints {
+		g.SCRs = []sweep.SCRVariant{
+			{Name: "scr=local", Spec: sweep.CheckpointAt(scr.LevelLocal)},
+			{Name: "scr=buddy", Spec: sweep.CheckpointAt(scr.LevelBuddy)},
+			{Name: "scr=global", Spec: sweep.CheckpointAt(scr.LevelGlobal)},
+		}
+	}
+	return g
 }
 
 // helper shared with fig3.go

@@ -7,6 +7,7 @@ import (
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/vclock"
 )
 
@@ -105,26 +106,72 @@ func measurePair(kind PairKind, size int) (float64, vclock.Time, error) {
 	return bw, latency, nil
 }
 
-// Fig3 measures both panels of Fig. 3 through the full MPI + fabric stack.
-func Fig3() ([]Fig3Row, error) {
+// fig3Pairs lists the node-type pairs in series order.
+func fig3Pairs() []PairKind { return []PairKind{CNCN, BNBN, CNBN} }
+
+// Fig3Scenarios declares the Fig. 3 measurement grid — message sizes ×
+// node-type pairs, one fresh two-rank psmpi job each — as sweep scenarios.
+// Every scenario reports "bandwidth_MBs" and "latency_us".
+func Fig3Scenarios(sizes []int) []sweep.Scenario {
+	var scenarios []sweep.Scenario
+	for _, size := range sizes {
+		for _, kind := range fig3Pairs() {
+			size, kind := size, kind
+			scenarios = append(scenarios, sweep.Scenario{
+				Name: fmt.Sprintf("fig3/%v/size=%d", kind, size),
+				Run: func() (sweep.Outcome, error) {
+					bw, lat, err := measurePair(kind, size)
+					if err != nil {
+						return sweep.Outcome{}, err
+					}
+					return sweep.Outcome{Metrics: sweep.Metrics{
+						"bandwidth_MBs": mbs(bw),
+						"latency_us":    us(lat),
+					}}, nil
+				},
+			})
+		}
+	}
+	return scenarios
+}
+
+// Fig3RowsFrom reassembles the per-size rows from a sweep over
+// Fig3Scenarios(sizes).
+func Fig3RowsFrom(sizes []int, rs sweep.ResultSet) ([]Fig3Row, error) {
+	if err := rs.FirstError(); err != nil {
+		return nil, fmt.Errorf("bench: fig3: %w", err)
+	}
+	pairs := fig3Pairs()
+	if rs.Scenarios != len(sizes)*len(pairs) {
+		return nil, fmt.Errorf("bench: fig3: %d results for %d grid points", rs.Scenarios, len(sizes)*len(pairs))
+	}
 	var rows []Fig3Row
-	for _, size := range Fig3Sizes() {
+	for i, size := range sizes {
 		row := Fig3Row{
 			Size:         size,
 			BandwidthMBs: map[PairKind]float64{},
 			LatencyUs:    map[PairKind]float64{},
 		}
-		for _, kind := range []PairKind{CNCN, BNBN, CNBN} {
-			bw, lat, err := measurePair(kind, size)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig3 %v size %d: %w", kind, size, err)
-			}
-			row.BandwidthMBs[kind] = mbs(bw)
-			row.LatencyUs[kind] = us(lat)
+		for j, kind := range pairs {
+			m := rs.Results[i*len(pairs)+j].Metrics
+			row.BandwidthMBs[kind] = m["bandwidth_MBs"]
+			row.LatencyUs[kind] = m["latency_us"]
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Fig3 measures both panels of Fig. 3 through the full MPI + fabric stack,
+// sweeping the measurement grid concurrently (default worker pool).
+func Fig3() ([]Fig3Row, error) {
+	return Fig3Sweep(Fig3Sizes(), 0)
+}
+
+// Fig3Sweep is Fig3 over explicit sizes with an explicit worker-pool bound.
+func Fig3Sweep(sizes []int, workers int) ([]Fig3Row, error) {
+	rs := sweep.Run(Fig3Scenarios(sizes), sweep.Options{Workers: workers})
+	return Fig3RowsFrom(sizes, rs)
 }
 
 // RenderFig3 renders both panels as text tables.

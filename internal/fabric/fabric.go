@@ -139,12 +139,22 @@ func (n *Network) ZeroLatency(src, dst *machine.Node) vclock.Time {
 	return sendOverhead(src.Spec) + n.cfg.WireLatency + recvOverhead(dst.Spec)
 }
 
+// Link determinism: every link clock has exactly one deterministic owner.
+// The injection link of a node is reserved only from the goroutine of the
+// rank running on that node (eager sends at send time, rendezvous DMAs at
+// issue time), and the ejection link only from the receiving rank's
+// goroutine at receive-completion time (its program order). Timing that
+// crosses goroutines (rendezvous match) is pure arithmetic over envelope
+// data. This is what makes whole simulations bit-deterministic under
+// host-parallel execution — see DESIGN.md decision 1.
+
 // EagerSend models the sender side of an eager transfer of size bytes that
 // becomes ready (sender CPU available) at ready. It returns:
 //
 //	senderFree — when the sending CPU may continue (eager sends are buffered)
-//	arrival    — when the full message is available at the destination NIC
-func (n *Network) EagerSend(src, dst *machine.Node, size int, ready vclock.Time) (senderFree, arrival vclock.Time) {
+//	nicArrival — when the full message is available at the destination NIC,
+//	             before ejection-link serialisation (EagerEject, receiver side)
+func (n *Network) EagerSend(src, dst *machine.Node, size int, ready vclock.Time) (senderFree, nicArrival vclock.Time) {
 	if size < 0 {
 		panic(fmt.Sprintf("fabric: negative size %d", size))
 	}
@@ -159,9 +169,17 @@ func (n *Network) EagerSend(src, dst *machine.Node, size int, ready vclock.Time)
 	}
 	wireTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * 1e9))
 	_, injEnd := n.inject[src.ID].Reserve(senderFree, wireTime)
-	_, ejEnd := n.eject[dst.ID].Reserve(injEnd+n.cfg.WireLatency-wireTime, wireTime)
-	arrival = vclock.Max(injEnd+n.cfg.WireLatency, ejEnd)
-	return senderFree, arrival
+	nicArrival = injEnd + n.cfg.WireLatency
+	return senderFree, nicArrival
+}
+
+// EagerEject serialises an eager message on the destination's ejection link
+// and returns the effective arrival. Must be called from the receiving
+// rank's goroutine (receive-completion order). Intra-node messages skip it.
+func (n *Network) EagerEject(dst *machine.Node, size int, nicArrival vclock.Time) vclock.Time {
+	wireTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * 1e9))
+	_, ejEnd := n.eject[dst.ID].Reserve(nicArrival-wireTime, wireTime)
+	return vclock.Max(nicArrival, ejEnd)
 }
 
 // EagerRecvCost is the receiver-side CPU cost to complete an eager message of
@@ -171,7 +189,67 @@ func (n *Network) EagerRecvCost(dst *machine.Node, size int) vclock.Time {
 	return recvOverhead(dst.Spec) + copyOut
 }
 
-// Rendezvous models a rendezvous (RTS/CTS + RDMA) transfer.
+// Rendezvous (RTS/CTS + RDMA) transfers are split into three phases so each
+// shared link keeps a single deterministic owner:
+//
+//	RendezvousIssue — sender side at issue time: books the injection link.
+//	RendezvousMatch — at match time, any goroutine: pure arithmetic, yields
+//	                  the sender-completion (DMA done, buffer reusable).
+//	RendezvousEject — receiver side at completion time: books the ejection
+//	                  link and yields the effective arrival.
+//
+// The combined Rendezvous below chains all three for single-goroutine
+// callers (buddy checkpoint copies, microbenchmarks, tests).
+
+// RendezvousIssue books the sender's injection link for the DMA at its
+// earliest possible slot (receiver already posted — the overlap-optimised
+// common case; a late receiver only shifts the transfer via RendezvousMatch).
+// It returns the RTS arrival time at the receiver's NIC and the booked
+// injection end. Must be called from the sending rank's goroutine.
+func (n *Network) RendezvousIssue(src, dst *machine.Node, size int, senderReady vclock.Time) (rts, injEnd vclock.Time) {
+	if size < 0 {
+		panic(fmt.Sprintf("fabric: negative size %d", size))
+	}
+	if src.ID == dst.ID {
+		// Shared memory: no links; rts is when the sending CPU is ready.
+		return senderReady + sendOverhead(src.Spec), 0
+	}
+	rts = senderReady + sendOverhead(src.Spec) + n.cfg.WireLatency
+	dmaTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * n.cfg.RDMAEfficiency * 1e9))
+	earliest := rts + n.cfg.WireLatency + n.cfg.RDMASetup // receive already posted: CTS turnaround + descriptor
+	_, injEnd = n.inject[src.ID].Reserve(earliest, dmaTime)
+	return rts, injEnd
+}
+
+// RendezvousMatch computes when the sender's transfer completes (DMA done,
+// buffer reusable) for a message issued at (rts, injEnd) and matched by a
+// receive posted at recvPosted. Pure arithmetic over the arguments — safe
+// from any goroutine.
+func (n *Network) RendezvousMatch(src, dst *machine.Node, size int, rts, injEnd, recvPosted vclock.Time) (senderDone vclock.Time) {
+	if src.ID == dst.ID {
+		// Shared memory: single copy by the source CPU once both are ready.
+		meet := vclock.Max(rts, recvPosted)
+		return meet + vclock.Time(float64(size)/(src.Spec.CopyGBs()*1e9))
+	}
+	// Transfer may start only after the receive is posted; CTS travels back;
+	// then RDMA streams the payload (no earlier than the booked link slot).
+	meet := vclock.Max(rts, recvPosted+recvOverhead(dst.Spec))
+	dmaReady := meet + n.cfg.WireLatency + n.cfg.RDMASetup
+	dmaTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * n.cfg.RDMAEfficiency * 1e9))
+	return vclock.Max(injEnd, dmaReady+dmaTime)
+}
+
+// RendezvousEject serialises the transfer on the receiver's ejection link
+// and returns the effective arrival. Must be called from the receiving
+// rank's goroutine (receive-completion order). Intra-node transfers skip it.
+func (n *Network) RendezvousEject(dst *machine.Node, size int, senderDone vclock.Time) vclock.Time {
+	dmaTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * n.cfg.RDMAEfficiency * 1e9))
+	_, ejEnd := n.eject[dst.ID].Reserve(senderDone+n.cfg.WireLatency-dmaTime, dmaTime)
+	return vclock.Max(senderDone+n.cfg.WireLatency, ejEnd)
+}
+
+// Rendezvous models a whole rendezvous transfer in one call (single-caller
+// contexts: buddy copies, microbenchmarks).
 //
 //	senderReady — sender CPU time when the send is issued
 //	recvPosted  — receiver CPU time when the matching receive was posted
@@ -179,26 +257,12 @@ func (n *Network) EagerRecvCost(dst *machine.Node, size int) vclock.Time {
 // Returns when the sender's transfer completes (DMA done, buffer reusable)
 // and when the data has fully arrived at the receiver.
 func (n *Network) Rendezvous(src, dst *machine.Node, size int, senderReady, recvPosted vclock.Time) (senderDone, arrival vclock.Time) {
-	if size < 0 {
-		panic(fmt.Sprintf("fabric: negative size %d", size))
-	}
+	rts, injEnd := n.RendezvousIssue(src, dst, size, senderReady)
+	senderDone = n.RendezvousMatch(src, dst, size, rts, injEnd, recvPosted)
 	if src.ID == dst.ID {
-		// Shared memory: single copy by the source CPU once both are ready.
-		meet := vclock.Max(senderReady+sendOverhead(src.Spec), recvPosted)
-		done := meet + vclock.Time(float64(size)/(src.Spec.CopyGBs()*1e9))
-		return done, done
+		return senderDone, senderDone
 	}
-	// RTS travels to the receiver; transfer may start only after the receive
-	// is posted; CTS travels back; then RDMA streams the payload.
-	rts := senderReady + sendOverhead(src.Spec) + n.cfg.WireLatency
-	meet := vclock.Max(rts, recvPosted+recvOverhead(dst.Spec))
-	cts := meet + n.cfg.WireLatency
-	dmaStart := cts + n.cfg.RDMASetup
-	dmaTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * n.cfg.RDMAEfficiency * 1e9))
-	_, injEnd := n.inject[src.ID].Reserve(dmaStart, dmaTime)
-	_, ejEnd := n.eject[dst.ID].Reserve(injEnd+n.cfg.WireLatency-dmaTime, dmaTime)
-	arrival = vclock.Max(injEnd+n.cfg.WireLatency, ejEnd)
-	senderDone = injEnd
+	arrival = n.RendezvousEject(dst, size, senderDone)
 	return senderDone, arrival
 }
 

@@ -20,21 +20,23 @@ type envelope struct {
 	interComm bool        // sent on an inter-communicator (staged path)
 	arrival   vclock.Time // eager only: when data is at the destination NIC
 
-	// Rendezvous handshake state.
-	senderReady vclock.Time      // sender clock when the transfer was issued
-	srcNode     *machine.Node    // needed to time the transfer at match time
-	senderDone  chan vclock.Time // receiver reports the sender's completion
+	// Rendezvous handshake state (timed via the fabric's three-phase
+	// rendezvous so every link clock keeps a single deterministic owner).
+	srcNode    *machine.Node    // needed to time the transfer at match time
+	rts        vclock.Time      // RTS at the receiver NIC (RendezvousIssue)
+	injEnd     vclock.Time      // booked injection-link end (RendezvousIssue)
+	dmaEnd     vclock.Time      // sender completion, set at match under the mailbox lock
+	senderDone chan vclock.Time // match reports the sender's completion
 }
 
 // postedRecv is a receive posted before its message arrived.
 type postedRecv struct {
-	commID  uint64
-	src     int // AnySource allowed
-	tag     int // AnyTag allowed
-	posted  vclock.Time
-	env     *envelope   // set when matched
-	arrival vclock.Time // receiver-side availability time, set when matched
-	done    bool
+	commID uint64
+	src    int // AnySource allowed
+	tag    int // AnyTag allowed
+	posted vclock.Time
+	env    *envelope // set when matched
+	done   bool
 }
 
 func (pr *postedRecv) matches(e *envelope) bool {
@@ -60,8 +62,12 @@ func newMailbox() *mailbox {
 
 // deliver is called from the sender's goroutine. It matches the envelope
 // against posted receives (in post order) or queues it as unexpected. For
-// rendezvous messages matched against a posted receive, the transfer is timed
-// here, because the receive-post time is already known.
+// rendezvous messages matched against a posted receive, the sender's
+// completion is resolved here (pure arithmetic — the receive-post time is
+// already known and no link state is touched), so a blocking sender never
+// waits for the receiver to reach its own completion call. Ejection-link
+// serialisation and the receiver-side arrival happen later, in the
+// receiver's goroutine.
 func (mb *mailbox) deliver(e *envelope, dst *Proc) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -76,17 +82,15 @@ func (mb *mailbox) deliver(e *envelope, dst *Proc) {
 	mb.cond.Broadcast()
 }
 
-// completeMatch times the transfer for a (posted receive, envelope) pair.
-// Caller holds the mailbox lock.
+// completeMatch resolves a (posted receive, envelope) pair: for rendezvous
+// messages it computes and releases the sender's completion time. Caller
+// holds the mailbox lock.
 func completeMatch(pr *postedRecv, e *envelope, dst *Proc) {
 	pr.env = e
-	if e.eager {
-		pr.arrival = e.arrival
-	} else {
-		senderDone, arrival := dst.rt.net.Rendezvous(
-			e.srcNode, dst.node, e.bytes, e.senderReady, pr.posted)
-		pr.arrival = arrival
-		e.senderDone <- senderDone
+	if !e.eager {
+		e.dmaEnd = dst.rt.net.RendezvousMatch(
+			e.srcNode, dst.node, e.bytes, e.rts, e.injEnd, pr.posted)
+		e.senderDone <- e.dmaEnd
 	}
 	pr.done = true
 }
@@ -154,27 +158,27 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendM
 	p.sendSeq++
 
 	e := &envelope{
-		commID:      c.id,
-		src:         p.rankIn(c),
-		tag:         tag,
-		data:        data,
-		bytes:       bytes,
-		seq:         p.sendSeq,
-		srcNode:     p.node,
-		senderReady: begin,
-		interComm:   c.IsInter(),
+		commID:    c.id,
+		src:       p.rankIn(c),
+		tag:       tag,
+		data:      data,
+		bytes:     bytes,
+		seq:       p.sendSeq,
+		srcNode:   p.node,
+		interComm: c.IsInter(),
 	}
 
 	eager := mode == modeStandard && p.rt.net.Eager(bytes)
 	req := &Request{p: p, isSend: true}
 	if eager {
-		senderFree, arrival := p.rt.net.EagerSend(p.node, target.node, bytes, begin)
+		senderFree, nicArrival := p.rt.net.EagerSend(p.node, target.node, bytes, begin)
 		e.eager = true
-		e.arrival = arrival
+		e.arrival = nicArrival
 		req.sendFree = senderFree
 	} else {
 		e.senderDone = make(chan vclock.Time, 1)
 		req.senderDone = e.senderDone
+		e.rts, e.injEnd = p.rt.net.RendezvousIssue(p.node, target.node, bytes, begin)
 	}
 	target.mbox.deliver(e, target)
 
@@ -258,36 +262,57 @@ func (mb *mailbox) removePosted(pr *postedRecv) {
 }
 
 // completeRecvUnexpected times a receive that found its message already
-// queued (sender was first).
+// queued (sender was first). Runs in the receiver's goroutine, which owns
+// the node's ejection link.
 func (p *Proc) completeRecvUnexpected(e *envelope) {
 	p.Stats.Recvs++
 	p.Stats.BytesRecv += int64(e.bytes)
 	if e.eager {
-		p.elapseComm(e.arrival)
+		p.elapseComm(p.eagerArrival(e))
 		p.addComm(p.rt.net.EagerRecvCost(p.node, e.bytes))
 		p.stageInterRecv(e)
 		return
 	}
-	senderDone, arrival := p.rt.net.Rendezvous(
-		e.srcNode, p.node, e.bytes, e.senderReady, p.clock.Now())
-	e.senderDone <- senderDone
-	p.elapseComm(arrival)
+	e.dmaEnd = p.rt.net.RendezvousMatch(
+		e.srcNode, p.node, e.bytes, e.rts, e.injEnd, p.clock.Now())
+	e.senderDone <- e.dmaEnd
+	p.elapseComm(p.rendezvousArrival(e))
 	p.stageInterRecv(e)
 }
 
 // completeRecvPosted times a receive whose posting preceded the message.
+// Runs in the receiver's goroutine, which owns the node's ejection link.
 func (p *Proc) completeRecvPosted(pr *postedRecv) {
 	e := pr.env
 	p.Stats.Recvs++
 	p.Stats.BytesRecv += int64(e.bytes)
 	if e.eager {
-		p.elapseComm(pr.arrival)
+		p.elapseComm(p.eagerArrival(e))
 		p.addComm(p.rt.net.EagerRecvCost(p.node, e.bytes))
 		p.stageInterRecv(e)
 		return
 	}
-	p.elapseComm(pr.arrival)
+	p.elapseComm(p.rendezvousArrival(e))
 	p.stageInterRecv(e)
+}
+
+// eagerArrival serialises an eager message on this rank's ejection link
+// (intra-node messages have no link to serialise on).
+func (p *Proc) eagerArrival(e *envelope) vclock.Time {
+	if e.srcNode.ID == p.node.ID {
+		return e.arrival
+	}
+	return p.rt.net.EagerEject(p.node, e.bytes, e.arrival)
+}
+
+// rendezvousArrival serialises a matched rendezvous transfer on this rank's
+// ejection link. e.dmaEnd was resolved at match time (under the mailbox
+// lock, before pr.done was observed), so reading it here is safe.
+func (p *Proc) rendezvousArrival(e *envelope) vclock.Time {
+	if e.srcNode.ID == p.node.ID {
+		return e.dmaEnd
+	}
+	return p.rt.net.RendezvousEject(p.node, e.bytes, e.dmaEnd)
 }
 
 // stageInterRecv charges the receiver-side staging copy of

@@ -170,7 +170,13 @@ func TestBestRestartPicksNewest(t *testing.T) {
 
 func TestLevelCosts(t *testing.T) {
 	// Local must be cheapest, global most expensive, for a sizeable state.
-	data := make([]byte, 64<<20)
+	// The ordering is bandwidth-dominated, so -short keeps full coverage of
+	// the property on an eighth of the payload.
+	size := 64 << 20
+	if testing.Short() {
+		size = 8 << 20
+	}
+	data := make([]byte, size)
 	mL, _ := testMgr(t, 4, Config{})
 	tLocal := ckptAll(t, mL, 1, data, 0)
 	mB, _ := testMgr(t, 4, Config{BuddyEvery: 1})

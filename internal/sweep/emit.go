@@ -1,0 +1,122 @@
+// Result-set emitters. All three forms (JSON, CSV, text) are deterministic:
+// results are ordered by scenario index and metric columns/keys by name, so
+// the same sweep definition always serialises to the same bytes regardless
+// of worker count or host scheduling.
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// JSON renders the result set as indented, deterministic JSON.
+func (rs ResultSet) JSON() ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}
+
+// WriteJSON writes the JSON form with a trailing newline.
+func (rs ResultSet) WriteJSON(w io.Writer) error {
+	b, err := rs.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// metricKeys returns the sorted union of all metric names in the set.
+func (rs ResultSet) metricKeys() []string {
+	seen := map[string]bool{}
+	for _, r := range rs.Results {
+		for k := range r.Metrics {
+			seen[k] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteCSV writes one row per scenario: index, name, error, then the sorted
+// union of metric columns (empty cell where a scenario lacks a metric).
+func (rs ResultSet) WriteCSV(w io.Writer) error {
+	keys := rs.metricKeys()
+	cw := csv.NewWriter(w)
+	header := append([]string{"index", "name", "error"}, keys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rs.Results {
+		row := []string{strconv.Itoa(r.Index), r.Name, r.Error}
+		for _, k := range keys {
+			v, ok := r.Metrics[k]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderText renders a human-readable summary table: the key xPic columns
+// when present, otherwise the per-scenario metrics inline.
+func (rs ResultSet) RenderText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sweep: %d scenarios, %d failed\n", rs.Scenarios, rs.Failures)
+	nameW := len("scenario")
+	for _, r := range rs.Results {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s | %10s %10s %10s %9s %7s\n",
+		nameW, "scenario", "total[s]", "fields[s]", "parts[s]", "ovhd[%]", "ckpt[s]")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", nameW+55))
+	for _, r := range rs.Results {
+		if r.Error != "" {
+			fmt.Fprintf(&sb, "%-*s | ERROR: %s\n", nameW, r.Name, r.Error)
+			continue
+		}
+		if r.XPic == nil {
+			fmt.Fprintf(&sb, "%-*s | %s\n", nameW, r.Name, renderMetrics(r.Metrics))
+			continue
+		}
+		ckpt := "-"
+		if v, ok := r.Metrics["checkpoint_s"]; ok {
+			ckpt = fmt.Sprintf("%.3f", v)
+		}
+		fmt.Fprintf(&sb, "%-*s | %10.2f %10.2f %10.2f %8.1f%% %7s\n",
+			nameW, r.Name,
+			r.XPic.Makespan.Seconds(), r.XPic.FieldTime.Seconds(),
+			r.XPic.ParticleTime.Seconds(), 100*r.XPic.OverheadFraction(), ckpt)
+	}
+	return sb.String()
+}
+
+func renderMetrics(m Metrics) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

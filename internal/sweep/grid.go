@@ -1,0 +1,297 @@
+// Declarative scenario grids. A Grid is the cross product of experiment
+// axes — nodes per solver, execution mode, workload, fabric parameters, MPI
+// parameters, SCR checkpoint levels — and expands to one self-contained
+// Scenario per grid point. This is the declarative form of the paper's
+// evaluations: Fig. 7 is a 1-node × 3-mode grid, Fig. 8 a node-scaling ×
+// 3-mode grid, and the DEEP-ER resiliency studies add the checkpoint-level
+// axis.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/scr"
+	"clusterbooster/internal/vclock"
+	"clusterbooster/internal/xpic"
+)
+
+// WorkloadVariant names one xPic configuration of a grid.
+type WorkloadVariant struct {
+	Name   string
+	Config xpic.Config
+}
+
+// FabricVariant names one fabric parameterisation of a grid.
+type FabricVariant struct {
+	Name   string
+	Config fabric.Config
+}
+
+// MPIVariant names one MPI runtime parameterisation of a grid.
+type MPIVariant struct {
+	Name   string
+	Config psmpi.Config
+}
+
+// SCRSpec asks a scenario to checkpoint the application state through the
+// SCR-like manager after the run, and reports the checkpoint cost as the
+// "checkpoint_s" metric. Levels and Config must be consistent (CheckpointAt
+// builds a consistent pair).
+type SCRSpec struct {
+	Config scr.Config
+	Levels []scr.Level
+	// StateBytesPerRank overrides the checkpoint payload; 0 derives it from
+	// the macro-particles each rank actually holds — the fidelity-scaled
+	// count, TotalParticles/ParticleScale/ranks — at 48 B per particle (six
+	// float64 components of phase space and weight). Set it explicitly to
+	// cost full-fidelity state on a reduced-fidelity run.
+	StateBytesPerRank int64
+}
+
+// CheckpointAt builds an SCRSpec whose cadence config matches the requested
+// levels (every checkpoint hits each listed level). LevelLocal is always
+// included: the SCR manager plans a local NVMe write on every checkpoint
+// (BeginCheckpoint's base level), so a buddy or global cost that excluded it
+// would understate what the modelled stack actually pays.
+func CheckpointAt(levels ...scr.Level) *SCRSpec {
+	spec := &SCRSpec{Levels: []scr.Level{scr.LevelLocal}}
+	for _, l := range levels {
+		switch l {
+		case scr.LevelBuddy:
+			spec.Config.BuddyEvery = 1
+		case scr.LevelGlobal:
+			spec.Config.GlobalEvery = 1
+		}
+		if l != scr.LevelLocal {
+			spec.Levels = append(spec.Levels, l)
+		}
+	}
+	return spec
+}
+
+// SCRVariant names one checkpoint configuration of a grid. A nil Spec means
+// "no checkpointing" (the compute-only baseline).
+type SCRVariant struct {
+	Name string
+	Spec *SCRSpec
+}
+
+// Grid declares a sweep as the cross product of its axes. NodeCounts, Modes
+// and Workloads are required; the remaining axes default to a single unnamed
+// variant (prototype fabric/MPI parameters, no checkpointing). Expansion
+// order is deterministic: node counts outermost, then modes, workloads,
+// fabrics, MPIs, SCR variants.
+type Grid struct {
+	// Name prefixes every scenario name.
+	Name string
+	// NodeCounts lists the ranks-per-solver points (the x axis of Fig. 8).
+	NodeCounts []int
+	// Modes lists the execution scenarios (Cluster, Booster, C+B).
+	Modes []xpic.Mode
+	// Workloads lists the xPic configurations to run.
+	Workloads []WorkloadVariant
+	// Fabrics optionally sweeps fabric parameters (e.g. eager thresholds).
+	Fabrics []FabricVariant
+	// MPIs optionally sweeps MPI runtime parameters (e.g. staging bandwidth).
+	MPIs []MPIVariant
+	// SCRs optionally sweeps checkpoint levels.
+	SCRs []SCRVariant
+}
+
+// Validate checks the grid is expandable.
+func (g Grid) Validate() error {
+	if len(g.NodeCounts) == 0 {
+		return fmt.Errorf("sweep: grid %q has no node counts", g.Name)
+	}
+	for _, n := range g.NodeCounts {
+		if n < 1 {
+			return fmt.Errorf("sweep: grid %q has node count %d", g.Name, n)
+		}
+	}
+	if len(g.Modes) == 0 {
+		return fmt.Errorf("sweep: grid %q has no modes", g.Name)
+	}
+	if len(g.Workloads) == 0 {
+		return fmt.Errorf("sweep: grid %q has no workloads", g.Name)
+	}
+	return nil
+}
+
+// Size returns the number of scenarios the grid expands to.
+func (g Grid) Size() int {
+	n := len(g.NodeCounts) * len(g.Modes) * len(g.Workloads)
+	n *= max1(len(g.Fabrics)) * max1(len(g.MPIs)) * max1(len(g.SCRs))
+	return n
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Scenarios expands the grid to its cross product in deterministic order.
+func (g Grid) Scenarios() ([]Scenario, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	fabrics := g.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = []FabricVariant{{}}
+	}
+	mpis := g.MPIs
+	if len(mpis) == 0 {
+		mpis = []MPIVariant{{}}
+	}
+	scrs := g.SCRs
+	if len(scrs) == 0 {
+		scrs = []SCRVariant{{}}
+	}
+
+	scenarios := make([]Scenario, 0, g.Size())
+	for _, n := range g.NodeCounts {
+		for _, mode := range g.Modes {
+			for _, wl := range g.Workloads {
+				for _, fv := range fabrics {
+					for _, mv := range mpis {
+						for _, sv := range scrs {
+							p := XPicPoint{
+								NodesPerSolver: n,
+								Mode:           mode,
+								Workload:       wl.Config,
+								Fabric:         fv.Config,
+								MPI:            mv.Config,
+								SCR:            sv.Spec,
+							}
+							name := joinName(g.Name,
+								fmt.Sprintf("n=%d", n), mode.String(),
+								wl.Name, fv.Name, mv.Name, sv.Name)
+							scenarios = append(scenarios, p.Scenario(name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return scenarios, nil
+}
+
+// joinName joins the non-empty name parts with "/".
+func joinName(parts ...string) string {
+	kept := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, "/")
+}
+
+// XPicPoint is one fully resolved grid point: everything needed to boot a
+// system and run xPic on it.
+type XPicPoint struct {
+	NodesPerSolver int
+	Mode           xpic.Mode
+	Workload       xpic.Config
+	Fabric         fabric.Config
+	MPI            psmpi.Config
+	SCR            *SCRSpec
+}
+
+// Scenario wraps the point as a self-contained Scenario: Run boots a fresh
+// core.System (with the storage stack only when checkpointing asks for it)
+// and reports the standard xPic metric set.
+func (p XPicPoint) Scenario(name string) Scenario {
+	return Scenario{Name: name, Run: func() (Outcome, error) {
+		sys := core.New(p.NodesPerSolver, p.NodesPerSolver, core.Options{
+			Fabric:         p.Fabric,
+			MPI:            p.MPI,
+			WithoutStorage: p.SCR == nil,
+		})
+		rep, err := sys.RunXPic(p.Mode, p.NodesPerSolver, p.Workload)
+		if err != nil {
+			return Outcome{}, err
+		}
+		m := Metrics{
+			"makespan_s":     rep.Makespan.Seconds(),
+			"field_s":        rep.FieldTime.Seconds(),
+			"particle_s":     rep.ParticleTime.Seconds(),
+			"exchange_s":     rep.ExchangeTime.Seconds(),
+			"aux_s":          rep.AuxTime.Seconds(),
+			"overhead_frac":  rep.OverheadFraction(),
+			"cg_iters":       float64(rep.CGIters),
+			"field_energy":   rep.FieldEnergy,
+			"kinetic_energy": rep.KineticEnergy,
+		}
+		if p.SCR != nil {
+			ckpt, err := p.checkpoint(sys, rep.Makespan)
+			if err != nil {
+				return Outcome{}, err
+			}
+			m["checkpoint_s"] = ckpt.Seconds()
+		}
+		return Outcome{Metrics: m, XPic: &rep}, nil
+	}}
+}
+
+// checkpoint writes every rank's state through the SCR manager on the nodes
+// the dominant solver ran on and returns the virtual checkpoint cost (max
+// over ranks, including global-container completion).
+func (p XPicPoint) checkpoint(sys *core.System, start vclock.Time) (vclock.Time, error) {
+	var nodes []*machine.Node
+	var err error
+	if p.Mode == xpic.ClusterOnly {
+		nodes, err = sys.ClusterNodes(p.NodesPerSolver)
+	} else {
+		nodes, err = sys.BoosterNodes(p.NodesPerSolver)
+	}
+	if err != nil {
+		return 0, err
+	}
+	mgr, err := scr.New(p.SCR.Config, sys.Network, sys.FS, nodes, sys.NVMe)
+	if err != nil {
+		return 0, err
+	}
+	bytesPerRank := p.SCR.StateBytesPerRank
+	if bytesPerRank <= 0 {
+		scale := p.Workload.ParticleScale
+		if scale < 1 {
+			scale = 1
+		}
+		bytesPerRank = int64(p.Workload.TotalParticles()/scale/p.NodesPerSolver) * 48
+	}
+	data := make([]byte, bytesPerRank)
+	levels := p.SCR.Levels
+	if len(levels) == 0 {
+		levels = mgr.BeginCheckpoint(1)
+	} else {
+		mgr.BeginCheckpoint(1)
+	}
+	done := start
+	for rank := range nodes {
+		t, err := mgr.Checkpoint(rank, 1, data, levels, start)
+		if err != nil {
+			return 0, fmt.Errorf("sweep: checkpoint rank %d: %w", rank, err)
+		}
+		done = vclock.Max(done, t)
+	}
+	for _, l := range levels {
+		if l == scr.LevelGlobal {
+			t, err := mgr.CompleteGlobal(1, 0, done)
+			if err != nil {
+				return 0, fmt.Errorf("sweep: complete global checkpoint: %w", err)
+			}
+			if t > done {
+				done = t
+			}
+			break
+		}
+	}
+	return done - start, nil
+}

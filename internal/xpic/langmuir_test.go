@@ -14,6 +14,9 @@ import (
 // field solve, interpolation and the Boris push — against an analytic
 // result.
 func TestLangmuirOscillation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120-step plasma-frequency integration; covered in default mode")
+	}
 	rt := newRuntime(1, 0)
 	cfg := QuickConfig(1)
 	cfg.NX, cfg.NY = 32, 8

@@ -34,34 +34,55 @@ func (m Mode) String() string {
 	}
 }
 
+// MarshalJSON emits the figure label rather than the enum ordinal, so
+// aggregated sweep results stay readable.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", m.String())), nil
+}
+
+// UnmarshalJSON accepts the figure label.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"Cluster"`:
+		*m = ClusterOnly
+	case `"Booster"`:
+		*m = BoosterOnly
+	case `"C+B"`:
+		*m = SplitCB
+	default:
+		return fmt.Errorf("xpic: unknown mode %s", b)
+	}
+	return nil
+}
+
 // Report is the outcome of one xPic run — the quantities behind Fig. 7
 // (per-solver runtimes) and Fig. 8 (total runtime and parallel efficiency).
 type Report struct {
-	Mode           Mode
-	RanksPerSolver int
-	Steps          int
+	Mode           Mode `json:"mode"`
+	RanksPerSolver int  `json:"ranks_per_solver"`
+	Steps          int  `json:"steps"`
 
 	// Makespan is the job's total virtual runtime (the "Total" bar).
-	Makespan vclock.Time
+	Makespan vclock.Time `json:"makespan_s"`
 	// FieldTime and ParticleTime are the per-solver runtimes (max over
 	// ranks of the accumulated solver phases, including solver-internal
 	// communication — how the paper attributes Fig. 7's bars).
-	FieldTime    vclock.Time
-	ParticleTime vclock.Time
+	FieldTime    vclock.Time `json:"field_s"`
+	ParticleTime vclock.Time `json:"particle_s"`
 	// ExchangeTime is the interface-buffer exchange cost; in split mode the
 	// Cluster↔Booster MPI overhead the paper quotes as 3–4 %.
-	ExchangeTime vclock.Time
+	ExchangeTime vclock.Time `json:"exchange_s"`
 	// AuxTime covers the auxiliary computations (energies, diagnostics).
-	AuxTime vclock.Time
+	AuxTime vclock.Time `json:"aux_s"`
 
 	// CGIters is the total CG iteration count of the field solver.
-	CGIters int
+	CGIters int `json:"cg_iters"`
 
 	// Physics diagnostics (identical across modes for identical configs).
-	FieldEnergy   float64
-	KineticEnergy float64
-	TotalCharge   float64
-	Checksum      float64
+	FieldEnergy   float64 `json:"field_energy"`
+	KineticEnergy float64 `json:"kinetic_energy"`
+	TotalCharge   float64 `json:"total_charge"`
+	Checksum      float64 `json:"checksum"`
 }
 
 // ExchangeFraction returns the raw exchange share of the makespan. Note that

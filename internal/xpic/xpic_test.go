@@ -318,6 +318,11 @@ func TestExchangeFractionSmall(t *testing.T) {
 	rt := newRuntimeFastSpawn(1, 1)
 	cfg := QuickConfig(12)
 	cfg.PPC = 2048 // particle-heavy, like the real Table II workload
+	if testing.Short() {
+		// The overhead fraction is scale-invariant in the particle count;
+		// -short checks the same property on a lighter particle load.
+		cfg.PPC = 512
+	}
 	rep, err := RunSplit(rt, boosterNodes(rt, 1), 1, cfg)
 	if err != nil {
 		t.Fatal(err)
