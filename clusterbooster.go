@@ -29,12 +29,15 @@
 //	System.NAM        — network-attached memory on the fabric
 //
 // Experiments: the Fig3/Fig7/Fig8/Table1/Table2 generators reproduce every
-// table and figure of the paper's evaluation; see EXPERIMENTS.md.
+// table and figure of the paper's evaluation. Each is also registered in the
+// experiment registry as a named, versioned experiment with a golden
+// baseline, diffable and re-recordable via cmd/cbctl; see EXPERIMENTS.md.
 package clusterbooster
 
 import (
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/exp"
 	"clusterbooster/internal/msa"
 	"clusterbooster/internal/xpic"
 )
@@ -100,4 +103,19 @@ var (
 	Fig8 = bench.Fig8
 	// RenderFig8 renders the result.
 	RenderFig8 = bench.RenderFig8
+)
+
+// Experiment is one registered entry of the experiment catalog.
+type Experiment = exp.Experiment
+
+// ExperimentDocument is the canonical JSON outcome of an experiment run.
+type ExperimentDocument = exp.Document
+
+// The experiment registry (see EXPERIMENTS.md): every paper artifact and
+// standing sweep as a named, versioned experiment with a golden baseline.
+var (
+	// Experiments returns the full catalog in paper order.
+	Experiments = exp.All
+	// ExperimentByName looks one experiment up.
+	ExperimentByName = exp.Get
 )

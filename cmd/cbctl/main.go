@@ -1,0 +1,304 @@
+// Command cbctl drives the experiment registry: it lists the catalog, runs
+// experiments to canonical JSON, diffs fresh runs against the checked-in
+// golden baselines, and re-records (blesses) baselines after an intentional
+// model change.
+//
+// Usage:
+//
+//	cbctl list [-v]
+//	cbctl run   [-workers N] [-v] [-text] -all | <experiment> ...
+//	cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
+//	cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+//
+// run prints one canonical JSON document per selected experiment; with
+// several experiments the output is a concatenated stream of documents (use
+// a streaming decoder, or select one experiment for a single JSON value).
+//
+// diff exits non-zero when any experiment drifts from its golden, misses a
+// baseline, or violates a declared virtual-time perf budget — the `golden`
+// CI job runs `cbctl diff -all` so paper-artifact drift fails the build.
+// Goldens are embedded into the binary; when the source tree is reachable
+// (cwd inside the module, or -C), the on-disk copy under
+// internal/exp/testdata/ takes precedence, so bless→diff needs no rebuild.
+//
+// By default diff is byte-for-byte: the simulation platform is deterministic
+// in virtual time, so canonical documents must match exactly. -tolerance
+// relaxes numeric leaves by each experiment's declared per-metric relative
+// tolerances (for comparing across intentional model refinements before a
+// bless).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterbooster/internal/exp"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	verb, args := flag.Arg(0), flag.Args()[1:]
+	var code int
+	switch verb {
+	case "list":
+		code = runList(args)
+	case "run":
+		code = runRun(args)
+	case "diff":
+		code = runDiff(args)
+	case "bless":
+		code = runBless(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cbctl: unknown verb %q\n", verb)
+		usage()
+		code = 2
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  cbctl list [-v]
+  cbctl run   [-workers N] [-v] [-text] -all | <experiment> ...
+  cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
+  cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+
+Experiments are the registered paper artifacts and sweeps (see 'cbctl list'
+and EXPERIMENTS.md). diff exits non-zero on golden drift, missing baselines,
+or virtual-time budget violations.
+`)
+}
+
+// common per-verb flags.
+type verbFlags struct {
+	fs        *flag.FlagSet
+	all       *bool
+	workers   *int
+	verbose   *bool
+	tolerance *bool
+	chdir     *string
+	text      *bool
+}
+
+func newFlags(verb string, withTolerance, withRoot, withText bool) verbFlags {
+	fs := flag.NewFlagSet("cbctl "+verb, flag.ExitOnError)
+	v := verbFlags{
+		fs:      fs,
+		all:     fs.Bool("all", false, "select every registered experiment"),
+		workers: fs.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)"),
+		verbose: fs.Bool("v", false, "per-scenario progress on stderr"),
+	}
+	if withTolerance {
+		v.tolerance = fs.Bool("tolerance", false, "apply per-experiment relative tolerances to numeric drift")
+	}
+	if withRoot {
+		v.chdir = fs.String("C", "", "module root for on-disk goldens (default: walk up from cwd)")
+	}
+	if withText {
+		v.text = fs.Bool("text", false, "render paper-style text instead of canonical JSON")
+	}
+	return v
+}
+
+// select resolves the experiment selection from -all / positional names.
+func (v verbFlags) selectExps() ([]exp.Experiment, error) {
+	if *v.all {
+		if v.fs.NArg() != 0 {
+			return nil, fmt.Errorf("-all and explicit names are mutually exclusive")
+		}
+		return exp.All(), nil
+	}
+	if v.fs.NArg() == 0 {
+		return nil, fmt.Errorf("no experiments selected (name them or pass -all)")
+	}
+	return exp.Resolve(v.fs.Args())
+}
+
+func (v verbFlags) options() exp.Options {
+	o := exp.Options{Workers: *v.workers}
+	if *v.verbose {
+		o.Observer = exp.ProgressObserver(os.Stderr, "cbctl")
+	}
+	return o
+}
+
+// moduleRoot resolves the source tree for on-disk goldens ("" = embedded
+// only).
+func (v verbFlags) moduleRoot() string {
+	if v.chdir != nil && *v.chdir != "" {
+		return *v.chdir
+	}
+	return exp.FindModuleRoot(".")
+}
+
+func runList(args []string) int {
+	v := newFlags("list", false, true, false)
+	v.fs.Parse(args)
+	if *v.all || v.fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "cbctl: list takes no experiment arguments")
+		return 2
+	}
+	root := v.moduleRoot()
+	nameW, gridW := len("EXPERIMENT"), len("GRID")
+	for _, e := range exp.All() {
+		nameW = max(nameW, len(e.Name))
+		gridW = max(gridW, len(e.Grid))
+	}
+	fmt.Printf("%-*s  %3s  %-8s  %-6s  %7s  %s\n", nameW, "EXPERIMENT", "VER", "PROFILE", "GOLDEN", "BUDGETS", "TITLE")
+	for _, e := range exp.All() {
+		golden := "yes"
+		if !exp.HasGolden(e.Name, root) {
+			golden = "NO"
+		}
+		fmt.Printf("%-*s  %3d  %-8s  %-6s  %7d  %s\n",
+			nameW, e.Name, e.Version, e.Profile, golden, len(e.Budgets), e.Title)
+		if *v.verbose {
+			fmt.Printf("%-*s       grid: %s\n", nameW, "", e.Grid)
+			for _, b := range e.Budgets {
+				fmt.Printf("%-*s       budget: %s %s %g\n", nameW, "", b.Measure, b.Kind, b.Bound)
+			}
+		}
+	}
+	return 0
+}
+
+func runRun(args []string) int {
+	v := newFlags("run", false, false, true)
+	v.fs.Parse(args)
+	exps, err := v.selectExps()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		return 2
+	}
+	opts := v.options()
+	for _, e := range exps {
+		doc, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbctl: run %s: %v\n", e.Name, err)
+			return 1
+		}
+		if *v.text && e.Render != nil {
+			text, err := e.Render(doc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cbctl: render %s: %v\n", e.Name, err)
+				return 1
+			}
+			fmt.Println(text)
+			continue
+		}
+		b, err := doc.Canonical()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(b)
+	}
+	return 0
+}
+
+func runDiff(args []string) int {
+	v := newFlags("diff", true, true, false)
+	v.fs.Parse(args)
+	exps, err := v.selectExps()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		return 2
+	}
+	opts := v.options()
+	root := v.moduleRoot()
+	failed := 0
+	for _, e := range exps {
+		golden, source, err := exp.Golden(e.Name, root)
+		if err != nil {
+			fmt.Printf("FAIL %-12s missing golden (%s) — bless it first\n", e.Name, exp.GoldenPath(e.Name))
+			failed++
+			continue
+		}
+		doc, err := e.Run(opts)
+		if err != nil {
+			fmt.Printf("FAIL %-12s run error: %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		fresh, err := doc.Canonical()
+		if err != nil {
+			fmt.Printf("FAIL %-12s %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		rep, err := exp.Diff(e, golden, fresh, v.tolerance != nil && *v.tolerance)
+		if err != nil {
+			fmt.Printf("FAIL %-12s %v\n", e.Name, err)
+			failed++
+			continue
+		}
+		switch {
+		case rep.Clean() && rep.Status == exp.Identical:
+			fmt.Printf("ok   %-12s identical to golden (%s)\n", e.Name, source)
+		case rep.Clean():
+			fmt.Printf("ok   %-12s within tolerance (%d numeric deltas absorbed)\n", e.Name, len(rep.Tolerated))
+		default:
+			fmt.Printf("FAIL %-12s %s: %d drifts, %d budget violations\n",
+				e.Name, rep.Status, len(rep.Drifts), len(rep.Violations))
+			fmt.Print(rep.Summary(8))
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\ncbctl diff: %d of %d experiments failed\n", failed, len(exps))
+		fmt.Println("If the change is intentional, re-record with: cbctl bless -all")
+		return 1
+	}
+	return 0
+}
+
+func runBless(args []string) int {
+	v := newFlags("bless", false, true, false)
+	v.fs.Parse(args)
+	exps, err := v.selectExps()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		return 2
+	}
+	root := v.moduleRoot()
+	if root == "" {
+		fmt.Fprintln(os.Stderr, "cbctl: bless needs the source tree; run from inside the module or pass -C <root>")
+		return 2
+	}
+	opts := v.options()
+	warned := false
+	for _, e := range exps {
+		doc, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbctl: bless %s: %v\n", e.Name, err)
+			return 1
+		}
+		b, err := doc.Canonical()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			return 1
+		}
+		for _, viol := range e.CheckBudgets(doc) {
+			fmt.Fprintf(os.Stderr, "cbctl: warning: %s: %s (blessed anyway; revise the budget if intentional)\n", e.Name, viol)
+			warned = true
+		}
+		p, err := exp.WriteGolden(root, e.Name, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			return 1
+		}
+		fmt.Printf("blessed %-12s -> %s\n", e.Name, p)
+	}
+	if warned {
+		fmt.Fprintln(os.Stderr, "cbctl: note: budget violations persist until the declared bounds are revised in internal/exp")
+	}
+	return 0
+}

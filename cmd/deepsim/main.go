@@ -1,6 +1,8 @@
 // Command deepsim regenerates the tables and figures of "Application
 // performance on a Cluster-Booster system" on the simulated DEEP-ER
 // prototype, and runs declarative scenario sweeps over the evaluation space.
+// Every table and figure target resolves through the experiment registry
+// (internal/exp) — the same catalog cbctl lists, diffs and blesses.
 //
 // Usage:
 //
@@ -15,22 +17,26 @@
 //	-sweep     run the paper's full evaluation grid through the sweep engine
 //	-scr       add the SCR checkpoint-level axis to the sweep
 //	-workers N bound the sweep worker pool (0 = GOMAXPROCS)
-//	-json      emit sweep results as JSON instead of text
+//	-json      emit canonical JSON (registry documents, or sweep results);
+//	           with multiple targets ("all") the output is a stream of
+//	           concatenated documents, one per target, not one JSON value
 //	-csv       emit sweep results as CSV instead of text
 //	-v         print per-scenario progress to stderr
 //
 // The figure targets print the measured series next to the paper's reference
-// values; EXPERIMENTS.md records a full run. The sweep output is
-// deterministic: the same grid always produces byte-identical JSON,
-// regardless of -workers.
+// values; EXPERIMENTS.md records a full run and documents the registry. The
+// output is deterministic: the same target always produces byte-identical
+// JSON, regardless of -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"clusterbooster/internal/bench"
+	"clusterbooster/internal/exp"
 	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/xpic"
 )
@@ -42,11 +48,11 @@ func main() {
 	doSweep := flag.Bool("sweep", false, "run the paper's evaluation grid through the sweep engine")
 	withSCR := flag.Bool("scr", false, "add the SCR checkpoint-level axis to the sweep")
 	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
-	asJSON := flag.Bool("json", false, "emit sweep results as JSON")
-	asCSV := flag.Bool("csv", false, "emit sweep results as CSV")
+	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
+	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
 	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] table1|table2|fig3|fig7|fig8|all\n")
+		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] %s|all\n", strings.Join(artifactNames(), "|"))
 		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
 		flag.PrintDefaults()
 	}
@@ -64,103 +70,86 @@ func main() {
 		cfg.ParticleScale = *scale
 	}
 
+	opts := exp.Options{Workers: *workers, Workload: &cfg}
+	if *verbose {
+		opts.Observer = exp.ProgressObserver(os.Stderr, "deepsim")
+	}
+
 	if *doSweep {
 		if flag.NArg() != 0 {
 			flag.Usage()
 			os.Exit(2)
 		}
-		os.Exit(runSweep(cfg, *withSCR, *workers, *asJSON, *asCSV, *verbose))
+		os.Exit(runSweep(cfg, *withSCR, opts, *asJSON, *asCSV))
 	}
 
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for name, set := range map[string]bool{
-		"-json": *asJSON, "-csv": *asCSV, "-scr": *withSCR, "-v": *verbose,
-	} {
-		if set {
-			fmt.Fprintf(os.Stderr, "deepsim: %s requires -sweep\n", name)
-			os.Exit(2)
-		}
+	if *withSCR || *asCSV {
+		fmt.Fprintln(os.Stderr, "deepsim: -scr and -csv require -sweep")
+		os.Exit(2)
 	}
 
 	target := flag.Arg(0)
-	run := func(name string, fn func() error) {
-		if target != name && target != "all" {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-	}
-
-	run("table1", func() error {
-		fmt.Println(bench.RenderTable1())
-		return nil
-	})
-	run("table2", func() error {
-		fmt.Println(bench.Table2(cfg))
-		return nil
-	})
-	run("fig3", func() error {
-		rows, err := bench.Fig3Sweep(bench.Fig3Sizes(), *workers)
-		if err != nil {
-			return err
-		}
-		fmt.Println(bench.RenderFig3(rows))
-		return nil
-	})
-	run("fig7", func() error {
-		res, err := bench.Fig7Sweep(cfg, *workers)
-		if err != nil {
-			return err
-		}
-		fmt.Println(bench.RenderFig7(res))
-		return nil
-	})
-	run("fig8", func() error {
-		res, err := bench.Fig8Sweep(cfg, []int{1, 2, 4, 8}, *workers)
-		if err != nil {
-			return err
-		}
-		fmt.Println(bench.RenderFig8(res))
-		return nil
-	})
-
-	switch target {
-	case "table1", "table2", "fig3", "fig7", "fig8", "all":
-	default:
+	var targets []string
+	if target == "all" {
+		targets = artifactNames()
+	} else if _, ok := exp.Get(target); ok && !strings.Contains(target, "/") {
+		targets = []string{target}
+	} else {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	for _, name := range targets {
+		e, _ := exp.Get(name)
+		doc, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			b, err := doc.Canonical()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(b)
+			continue
+		}
+		text, err := e.Render(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+}
+
+// artifactNames lists the registry's paper artifacts (the targets of this
+// command) in paper order — the sweep entries live under "sweep/" and are
+// cbctl's domain.
+func artifactNames() []string {
+	var out []string
+	for _, name := range exp.Names() {
+		if !strings.Contains(name, "/") {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // runSweep expands the paper grid and executes it on the worker pool.
-func runSweep(cfg xpic.Config, withSCR bool, workers int, asJSON, asCSV, verbose bool) int {
+func runSweep(cfg xpic.Config, withSCR bool, opts exp.Options, asJSON, asCSV bool) int {
 	grid := bench.PaperGrid(cfg, withSCR)
 	scenarios, err := grid.Scenarios()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
 		return 1
 	}
-	opts := sweep.Options{Workers: workers}
-	if verbose {
-		opts.Observer = func(ev sweep.Event) {
-			switch ev.Kind {
-			case sweep.ScenarioStart:
-				fmt.Fprintf(os.Stderr, "deepsim: start %s\n", ev.Name)
-			case sweep.ScenarioDone:
-				status := "done "
-				if ev.Err != nil {
-					status = "FAIL "
-				}
-				fmt.Fprintf(os.Stderr, "deepsim: %s %s\n", status, ev.Name)
-			}
-		}
-	}
-	rs := sweep.Run(scenarios, opts)
+	rs := sweep.Run(scenarios, sweep.Options{Workers: opts.Workers, Observer: opts.Observer})
 	switch {
 	case asJSON:
 		if err := rs.WriteJSON(os.Stdout); err != nil {

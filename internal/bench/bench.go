@@ -23,9 +23,9 @@ func AllModes() []xpic.Mode {
 
 // Table1Row is one row of Table I (hardware configuration).
 type Table1Row struct {
-	Feature string
-	Cluster string
-	Booster string
+	Feature string `json:"feature"`
+	Cluster string `json:"cluster"`
+	Booster string `json:"booster"`
 }
 
 // Table1 reproduces Table I from the machine and fabric models.
@@ -51,34 +51,55 @@ func Table1() []Table1Row {
 }
 
 // RenderTable1 renders Table I as text.
-func RenderTable1() string {
+func RenderTable1() string { return RenderTable1Rows(Table1()) }
+
+// RenderTable1Rows renders previously generated Table I rows as text.
+func RenderTable1Rows(rows []Table1Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table I: Hardware configuration of the DEEP-ER prototype\n")
 	fmt.Fprintf(&sb, "%-22s | %-24s | %-28s\n", "Feature", "Cluster", "Booster")
 	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 80))
-	for _, r := range Table1() {
+	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-22s | %-24s | %-28s\n", r.Feature, r.Cluster, r.Booster)
 	}
 	return sb.String()
 }
 
+// Table2Row is one setting of Table II (experiment setup).
+type Table2Row struct {
+	Setting string `json:"setting"`
+	Value   string `json:"value"`
+}
+
+// Table2Rows reproduces Table II for a config as structured rows.
+func Table2Rows(cfg xpic.Config) []Table2Row {
+	return []Table2Row{
+		{"Number of cells per node", fmt.Sprintf("%d (grid %dx%d)", cfg.Cells(), cfg.NX, cfg.NY)},
+		{"Number of particles per cell", fmt.Sprint(cfg.PPC)},
+		{"Compilation flags", "-openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)"},
+		{"Time steps", fmt.Sprint(cfg.Steps)},
+		{"Species", fmt.Sprint(len(cfg.Species))},
+	}
+}
+
 // Table2 renders the experiment setup (Table II) for a config.
-func Table2(cfg xpic.Config) string {
+func Table2(cfg xpic.Config) string { return RenderTable2Rows(Table2Rows(cfg)) }
+
+// RenderTable2Rows renders previously generated Table II rows as text.
+func RenderTable2Rows(rows []Table2Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table II: xPic experiment setup\n")
-	fmt.Fprintf(&sb, "%-34s %d (grid %dx%d)\n", "Number of cells per node", cfg.Cells(), cfg.NX, cfg.NY)
-	fmt.Fprintf(&sb, "%-34s %d\n", "Number of particles per cell", cfg.PPC)
-	fmt.Fprintf(&sb, "%-34s %s\n", "Compilation flags", "-openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)")
-	fmt.Fprintf(&sb, "%-34s %d\n", "Time steps", cfg.Steps)
-	fmt.Fprintf(&sb, "%-34s %d\n", "Species", len(cfg.Species))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-34s %s\n", r.Setting, r.Value)
+	}
 	return sb.String()
 }
 
 // Fig7Result holds the three single-node scenarios of Fig. 7.
 type Fig7Result struct {
-	Cluster xpic.Report
-	Booster xpic.Report
-	Split   xpic.Report
+	Cluster xpic.Report `json:"cluster"`
+	Booster xpic.Report `json:"booster"`
+	Split   xpic.Report `json:"split"`
 }
 
 // FieldAdvantage returns how much faster the field solver is on the Cluster.
@@ -123,14 +144,22 @@ func Fig7(cfg xpic.Config) (Fig7Result, error) {
 
 // Fig7Sweep is Fig7 with an explicit worker-pool bound.
 func Fig7Sweep(cfg xpic.Config, workers int) (Fig7Result, error) {
-	var out Fig7Result
 	scenarios, err := Fig7Grid(cfg).Scenarios()
 	if err != nil {
-		return out, err
+		return Fig7Result{}, err
 	}
-	rs := sweep.Run(scenarios, sweep.Options{Workers: workers})
+	return Fig7From(sweep.Run(scenarios, sweep.Options{Workers: workers}))
+}
+
+// Fig7From reassembles the Fig. 7 result from a sweep over
+// Fig7Grid(cfg).Scenarios().
+func Fig7From(rs sweep.ResultSet) (Fig7Result, error) {
+	var out Fig7Result
 	if err := rs.FirstError(); err != nil {
 		return out, fmt.Errorf("bench: fig7: %w", err)
+	}
+	if rs.Scenarios != len(AllModes()) {
+		return out, fmt.Errorf("bench: fig7: %d results for %d grid points", rs.Scenarios, len(AllModes()))
 	}
 	// Grid order: modes innermost-to-outermost as declared in Fig7Grid.
 	out.Cluster = *rs.Results[0].XPic
@@ -159,15 +188,15 @@ func RenderFig7(r Fig7Result) string {
 
 // Fig8Point is one x-axis position of Fig. 8.
 type Fig8Point struct {
-	Nodes   int
-	Cluster xpic.Report
-	Booster xpic.Report
-	Split   xpic.Report
+	Nodes   int         `json:"nodes"`
+	Cluster xpic.Report `json:"cluster"`
+	Booster xpic.Report `json:"booster"`
+	Split   xpic.Report `json:"split"`
 }
 
 // Fig8Result is the full scaling series.
 type Fig8Result struct {
-	Points []Fig8Point
+	Points []Fig8Point `json:"points"`
 }
 
 // Fig8Grid declares the strong-scaling study of Fig. 8 as a sweep grid: the
@@ -189,17 +218,25 @@ func Fig8(cfg xpic.Config, nodeCounts []int) (Fig8Result, error) {
 
 // Fig8Sweep is Fig8 with an explicit worker-pool bound.
 func Fig8Sweep(cfg xpic.Config, nodeCounts []int, workers int) (Fig8Result, error) {
-	var out Fig8Result
 	scenarios, err := Fig8Grid(cfg, nodeCounts).Scenarios()
 	if err != nil {
-		return out, err
+		return Fig8Result{}, err
 	}
-	rs := sweep.Run(scenarios, sweep.Options{Workers: workers})
+	return Fig8From(nodeCounts, sweep.Run(scenarios, sweep.Options{Workers: workers}))
+}
+
+// Fig8From reassembles the Fig. 8 series from a sweep over
+// Fig8Grid(cfg, nodeCounts).Scenarios().
+func Fig8From(nodeCounts []int, rs sweep.ResultSet) (Fig8Result, error) {
+	var out Fig8Result
 	if err := rs.FirstError(); err != nil {
 		return out, fmt.Errorf("bench: fig8: %w", err)
 	}
-	// Grid order: node counts outermost, modes in AllModes order within.
 	modes := len(AllModes())
+	if rs.Scenarios != len(nodeCounts)*modes {
+		return out, fmt.Errorf("bench: fig8: %d results for %d grid points", rs.Scenarios, len(nodeCounts)*modes)
+	}
+	// Grid order: node counts outermost, modes in AllModes order within.
 	for i, n := range nodeCounts {
 		out.Points = append(out.Points, Fig8Point{
 			Nodes:   n,

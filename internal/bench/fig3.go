@@ -35,14 +35,35 @@ func (k PairKind) String() string {
 	}
 }
 
+// MarshalText emits the series label, so PairKind-keyed maps serialise to
+// readable (and deterministically sorted) JSON object keys.
+func (k PairKind) MarshalText() ([]byte, error) {
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText accepts the series label.
+func (k *PairKind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "CN-CN":
+		*k = CNCN
+	case "BN-BN":
+		*k = BNBN
+	case "CN-BN":
+		*k = CNBN
+	default:
+		return fmt.Errorf("bench: unknown pair kind %q", b)
+	}
+	return nil
+}
+
 // Fig3Row is one message size of the Fig. 3 curves.
 type Fig3Row struct {
-	Size int
+	Size int `json:"size"`
 	// BandwidthMBs is the sustained unidirectional stream bandwidth in
 	// MByte/s per pair kind (upper panel of Fig. 3).
-	BandwidthMBs map[PairKind]float64
+	BandwidthMBs map[PairKind]float64 `json:"bandwidth_MBs"`
 	// LatencyUs is the single-message one-way latency in µs (lower panel).
-	LatencyUs map[PairKind]float64
+	LatencyUs map[PairKind]float64 `json:"latency_us"`
 }
 
 // Fig3Sizes returns the message sizes of the paper's plot: powers of two

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// doc builds canonical bytes for a minimal document with the given payload
+// JSON.
+func docBytes(t *testing.T, payload string) []byte {
+	t.Helper()
+	d := Document{Experiment: "t", Version: 1, Payload: []byte(payload)}
+	b, err := d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDiffIdentical(t *testing.T) {
+	b := docBytes(t, `{"x": 1.5}`)
+	rep, err := Diff(Experiment{Name: "t"}, b, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Identical || !rep.Clean() {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestDiffNumericDrift(t *testing.T) {
+	golden := docBytes(t, `{"makespan_s": 2.0}`)
+	fresh := docBytes(t, `{"makespan_s": 2.2}`)
+	rep, err := Diff(Experiment{Name: "t"}, golden, fresh, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted || len(rep.Drifts) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	d := rep.Drifts[0]
+	if d.Path != "payload.makespan_s" || d.Golden != "2.0" || d.Fresh != "2.2" {
+		t.Errorf("drift = %+v", d)
+	}
+	if d.RelDelta < 0.09 || d.RelDelta > 0.1 {
+		t.Errorf("rel delta = %g", d.RelDelta)
+	}
+}
+
+func TestDiffToleranceAbsorbs(t *testing.T) {
+	e := Experiment{Name: "t", Tolerance: map[string]float64{"makespan_s": 0.1}}
+	golden := docBytes(t, `{"makespan_s": 2.0, "steps": 60}`)
+	fresh := docBytes(t, `{"makespan_s": 2.1, "steps": 60}`)
+
+	// Exact mode still fails.
+	rep, err := Diff(e, golden, fresh, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted {
+		t.Fatalf("exact mode: %+v", rep)
+	}
+
+	// Tolerance mode absorbs the 5% delta.
+	rep, err = Diff(e, golden, fresh, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != WithinTolerance || !rep.Clean() || len(rep.Tolerated) != 1 {
+		t.Fatalf("tolerant mode: %+v", rep)
+	}
+
+	// Beyond the declared tolerance fails even in tolerant mode.
+	fresh = docBytes(t, `{"makespan_s": 2.5, "steps": 60}`)
+	rep, err = Diff(e, golden, fresh, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted {
+		t.Fatalf("beyond tolerance: %+v", rep)
+	}
+}
+
+// Tolerances bind to the nearest enclosing key: Fig. 3 numbers nest under
+// pair labels ("latency_us": {"CN-CN": 1.0}), so the metric key is an
+// ancestor of the numeric leaf.
+func TestDiffToleranceOnAncestorKey(t *testing.T) {
+	e := Experiment{Name: "t", Tolerance: map[string]float64{"latency_us": 0.1}}
+	golden := docBytes(t, `{"latency_us": {"CN-CN": 1.0}, "size": 8}`)
+	fresh := docBytes(t, `{"latency_us": {"CN-CN": 1.05}, "size": 8}`)
+	rep, err := Diff(e, golden, fresh, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != WithinTolerance {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The non-covered integer leaf is never tolerated.
+	fresh = docBytes(t, `{"latency_us": {"CN-CN": 1.0}, "size": 16}`)
+	rep, err = Diff(e, golden, fresh, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted {
+		t.Fatalf("integer drift tolerated: %+v", rep)
+	}
+}
+
+func TestDiffStructuralDrift(t *testing.T) {
+	cases := []struct {
+		name           string
+		golden, fresh  string
+		wantPathSubstr string
+	}{
+		{"missing key", `{"a": 1, "b": 2}`, `{"a": 1}`, "payload.b"},
+		{"extra key", `{"a": 1}`, `{"a": 1, "b": 2}`, "payload.b"},
+		{"array length", `[1, 2, 3]`, `[1, 2]`, "payload"},
+		{"type change", `{"a": 1}`, `{"a": "1"}`, "payload.a"},
+		{"string change", `{"a": "x"}`, `{"a": "y"}`, "payload.a"},
+		{"nested", `{"a": {"b": [1]}}`, `{"a": {"b": [2]}}`, "payload.a.b[0]"},
+	}
+	e := Experiment{Name: "t", Tolerance: map[string]float64{"*": 1e9}}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep, err := Diff(e, docBytes(t, c.golden), docBytes(t, c.fresh), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Status != Drifted {
+				t.Fatalf("report = %+v", rep)
+			}
+			found := false
+			for _, d := range rep.Drifts {
+				if strings.Contains(d.Path, c.wantPathSubstr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no drift at %q in %v", c.wantPathSubstr, rep.Drifts)
+			}
+		})
+	}
+}
+
+func TestDiffVersionMismatch(t *testing.T) {
+	golden := docBytes(t, `{}`)
+	d := Document{Experiment: "t", Version: 2, Payload: []byte(`{}`)}
+	fresh, err := d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Diff(Experiment{Name: "t"}, golden, fresh, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted {
+		t.Fatalf("version bump must drift: %+v", rep)
+	}
+}
+
+// Budget violations fail the diff even when the document is byte-identical
+// to its golden: bless re-records baselines, budgets gate them.
+func TestDiffBudgetViolationOnIdenticalDoc(t *testing.T) {
+	e := Experiment{Name: "t", Budgets: []Budget{{Measure: "makespan_s", Kind: MaxBudget, Bound: 1.0}}}
+	d := Document{Experiment: "t", Version: 1, Measures: map[string]float64{"makespan_s": 1.5}, Payload: []byte(`{}`)}
+	b, err := d.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Diff(e, b, b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Identical || rep.Clean() || len(rep.Violations) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.Summary(0), "BUDGET") {
+		t.Errorf("summary does not surface the violation: %q", rep.Summary(0))
+	}
+}
+
+// Goldens are canonical bytes: semantically equal but differently formatted
+// JSON is drift (a re-bless repairs it), not a silent pass.
+func TestDiffNonCanonicalGolden(t *testing.T) {
+	fresh := docBytes(t, `{"a": 1}`)
+	golden := []byte(`{"payload": {"a": 1}, "version": 1, "experiment": "t"}`)
+	rep, err := Diff(Experiment{Name: "t"}, golden, fresh, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != Drifted || len(rep.Drifts) != 1 || rep.Drifts[0].Path != "(document)" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{2.0, 2.2, 0.2 / 2.2},
+		{-1, 1, 2},
+	}
+	for _, c := range cases {
+		if got := relDelta(c.a, c.b); got < c.want-1e-12 || got > c.want+1e-12 {
+			t.Errorf("relDelta(%g, %g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Golden baseline storage. Baselines live in internal/exp/testdata/ (one
+// canonical document per experiment, nested directories for names like
+// "sweep/fig7") and are embedded into every binary, so `cbctl diff` works
+// from a clean checkout and from any working directory. When the source tree
+// is locatable, the on-disk golden takes precedence over the embedded copy:
+// a freshly blessed baseline is visible to diff without rebuilding.
+package exp
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+//go:embed testdata
+var embedded embed.FS
+
+// goldenRel is the golden's path relative to the exp package directory.
+func goldenRel(name string) string {
+	return "testdata/" + name + ".golden.json"
+}
+
+// GoldenPath returns the golden's path relative to the module root.
+func GoldenPath(name string) string {
+	return filepath.Join("internal", "exp", goldenRel(name))
+}
+
+// Golden loads an experiment's baseline, preferring the source tree under
+// moduleRoot (pass "" to use only the embedded copy). The returned source
+// describes where the bytes came from, for CLI reporting. Only a missing
+// on-disk file falls back to the embedded copy — any other read failure is
+// an error, so a fresh bless is never silently shadowed by a stale embed.
+func Golden(name, moduleRoot string) (data []byte, source string, err error) {
+	if moduleRoot != "" {
+		p := filepath.Join(moduleRoot, GoldenPath(name))
+		b, err := os.ReadFile(p)
+		if err == nil {
+			return b, p, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, "", fmt.Errorf("exp: golden for %q: %w", name, err)
+		}
+	}
+	b, err := embedded.ReadFile(goldenRel(name))
+	if err != nil {
+		return nil, "", fmt.Errorf("exp: no golden for %q (bless it first): %w", name, err)
+	}
+	return b, "embedded", nil
+}
+
+// HasGolden reports whether a baseline exists (tree or embedded).
+func HasGolden(name, moduleRoot string) bool {
+	_, _, err := Golden(name, moduleRoot)
+	return err == nil
+}
+
+// WriteGolden records canonical document bytes as the experiment's baseline
+// under the module root and returns the written path.
+func WriteGolden(moduleRoot, name string, data []byte) (string, error) {
+	p := filepath.Join(moduleRoot, GoldenPath(name))
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", fmt.Errorf("exp: write golden %q: %w", name, err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return "", fmt.Errorf("exp: write golden %q: %w", name, err)
+	}
+	return p, nil
+}
+
+// FindModuleRoot walks up from dir looking for this module's go.mod. It
+// returns "" (no error) when the source tree is not reachable — callers fall
+// back to the embedded goldens.
+func FindModuleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil && strings.HasPrefix(strings.TrimSpace(string(b)), "module clusterbooster") {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

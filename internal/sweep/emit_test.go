@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// An empty result set still emits a valid, parseable CSV document: the fixed
+// header and no rows.
+func TestCSVEmptyResultSet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (ResultSet{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "index,name,error\n"; got != want {
+		t.Fatalf("empty CSV = %q, want %q", got, want)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want header only", len(recs))
+	}
+}
+
+// Scenarios with disjoint metric sets share one header: the sorted union of
+// all metric keys, with empty cells where a scenario lacks a metric. A
+// failed scenario contributes no metrics but keeps its row.
+func TestCSVMetricKeyUnion(t *testing.T) {
+	rs := ResultSet{
+		Scenarios: 3,
+		Failures:  1,
+		Results: []Result{
+			{Index: 0, Name: "xpic", Metrics: Metrics{"makespan_s": 2.5, "cg_iters": 40}},
+			{Index: 1, Name: "fabric", Metrics: Metrics{"latency_us": 1.25, "bandwidth_MBs": 10989.5}},
+			{Index: 2, Name: "broken", Error: "panic: boom"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := []string{"index", "name", "error", "bandwidth_MBs", "cg_iters", "latency_us", "makespan_s"}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, w := range wantHeader {
+		if recs[0][i] != w {
+			t.Fatalf("header = %v, want %v", recs[0], wantHeader)
+		}
+	}
+	// Row 0: xpic has cg_iters and makespan_s, empty cells elsewhere.
+	if got := recs[1]; got[3] != "" || got[4] != "40" || got[5] != "" || got[6] != "2.5" {
+		t.Errorf("xpic row = %v", got)
+	}
+	// Row 1: fabric fills the other two columns.
+	if got := recs[2]; got[3] != "10989.5" || got[4] != "" || got[5] != "1.25" || got[6] != "" {
+		t.Errorf("fabric row = %v", got)
+	}
+	// Row 2: the failure keeps its row with the error and no metrics.
+	if got := recs[3]; got[1] != "broken" || got[2] != "panic: boom" || got[3] != "" || got[6] != "" {
+		t.Errorf("broken row = %v", got)
+	}
+}
+
+// Names and errors containing CSV metacharacters (commas, quotes, newlines)
+// must round-trip through the encoder unharmed.
+func TestCSVQuoting(t *testing.T) {
+	name := `fig8/n=8,mode="C+B"` + "\nsecond line"
+	errMsg := `boot failed: "fabric, degraded"`
+	rs := ResultSet{
+		Scenarios: 2,
+		Failures:  1,
+		Results: []Result{
+			{Index: 0, Name: name, Metrics: Metrics{"makespan_s": 0.375}},
+			{Index: 1, Name: "plain", Error: errMsg},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"fig8/n=8,mode=""C+B""`) {
+		t.Errorf("name not quoted/escaped in raw CSV:\n%s", buf.String())
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not re-parse: %v", err)
+	}
+	if recs[1][1] != name {
+		t.Errorf("name round-trip = %q, want %q", recs[1][1], name)
+	}
+	if recs[2][2] != errMsg {
+		t.Errorf("error round-trip = %q, want %q", recs[2][2], errMsg)
+	}
+}
+
+// Float formatting uses the shortest round-trip form ('g', precision -1), so
+// exact values survive a parse and exotic-but-legal values stay readable.
+func TestCSVFloatFormatting(t *testing.T) {
+	rs := ResultSet{
+		Scenarios: 1,
+		Results: []Result{
+			{Index: 0, Name: "s", Metrics: Metrics{
+				"tiny":  5e-324,
+				"big":   1.7976931348623157e308,
+				"third": 1.0 / 3.0,
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: index,name,error,big,third,tiny
+	if got := recs[1]; got[3] != "1.7976931348623157e+308" || got[4] != "0.3333333333333333" || got[5] != "5e-324" {
+		t.Errorf("float cells = %v", got[3:])
+	}
+}
+
+// JSON and CSV emitters agree on determinism for a set containing an empty
+// metrics map versus an absent one.
+func TestCSVNilVersusEmptyMetrics(t *testing.T) {
+	rs := ResultSet{
+		Scenarios: 2,
+		Results: []Result{
+			{Index: 0, Name: "nil-metrics"},
+			{Index: 1, Name: "empty-metrics", Metrics: Metrics{}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "index,name,error\n0,nil-metrics,\n1,empty-metrics,\n"; got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
