@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cbctl list [-v]
-//	cbctl run   [-workers N] [-v] [-text] -all | <experiment> ...
+//	cbctl run   [-workers N] [-v] [-text] [-stats] -all | <experiment> ...
 //	cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
 //	cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
 //
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
 )
 
@@ -67,7 +68,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   cbctl list [-v]
-  cbctl run   [-workers N] [-v] [-text] -all | <experiment> ...
+  cbctl run   [-workers N] [-v] [-text] [-stats] -all | <experiment> ...
   cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
   cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
 
@@ -86,6 +87,7 @@ type verbFlags struct {
 	tolerance *bool
 	chdir     *string
 	text      *bool
+	stats     *bool
 }
 
 func newFlags(verb string, withTolerance, withRoot, withText bool) verbFlags {
@@ -104,8 +106,17 @@ func newFlags(verb string, withTolerance, withRoot, withText bool) verbFlags {
 	}
 	if withText {
 		v.text = fs.Bool("text", false, "render paper-style text instead of canonical JSON")
+		v.stats = fs.Bool("stats", false, "print execution-kernel runtime stats to stderr after the runs")
 	}
 	return v
+}
+
+// reportStats prints the aggregated execution-kernel counters to stderr when
+// the verb's -stats flag is set.
+func (v verbFlags) reportStats() {
+	if v.stats != nil && *v.stats {
+		fmt.Fprintf(os.Stderr, "cbctl: kernel %s\n", engine.Global())
+	}
 }
 
 // select resolves the experiment selection from -all / positional names.
@@ -201,6 +212,7 @@ func runRun(args []string) int {
 		}
 		os.Stdout.Write(b)
 	}
+	v.reportStats()
 	return 0
 }
 

@@ -22,6 +22,8 @@
 //	           concatenated documents, one per target, not one JSON value
 //	-csv       emit sweep results as CSV instead of text
 //	-v         print per-scenario progress to stderr
+//	-stats     print execution-kernel runtime stats (events processed,
+//	           events/sec wall-clock, peak parked ranks) to stderr
 //
 // The figure targets print the measured series next to the paper's reference
 // values; EXPERIMENTS.md records a full run and documents the registry. The
@@ -36,6 +38,7 @@ import (
 	"strings"
 
 	"clusterbooster/internal/bench"
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/xpic"
@@ -51,6 +54,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
 	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
 	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
+	stats := flag.Bool("stats", false, "print execution-kernel runtime stats to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] %s|all\n", strings.Join(artifactNames(), "|"))
 		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
@@ -80,7 +84,9 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		os.Exit(runSweep(cfg, *withSCR, opts, *asJSON, *asCSV))
+		code := runSweep(cfg, *withSCR, opts, *asJSON, *asCSV)
+		reportStats(*stats)
+		os.Exit(code)
 	}
 
 	if flag.NArg() != 1 {
@@ -126,6 +132,16 @@ func main() {
 		}
 		fmt.Println(text)
 	}
+	reportStats(*stats)
+}
+
+// reportStats prints the aggregated execution-kernel counters (events
+// processed, events/sec wall-clock, peak parked ranks) to stderr.
+func reportStats(enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "deepsim: kernel %s\n", engine.Global())
 }
 
 // artifactNames lists the registry's paper artifacts (the targets of this

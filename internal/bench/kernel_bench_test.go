@@ -1,0 +1,148 @@
+package bench
+
+// Hot-path benchmarks for the execution kernel: how fast the host can turn
+// the simulated MPI traffic of the paper's workloads. These are wall-clock
+// benchmarks of the simulator itself (virtual-time results are asserted
+// elsewhere); run them before and after kernel changes:
+//
+//	go test ./internal/bench -run xxx -bench Kernel -benchmem
+//
+// CI executes them with -benchtime=1x as a smoke test so they cannot rot.
+
+import (
+	"testing"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/xpic"
+)
+
+// benchRuntime boots a runtime over c cluster and b booster nodes.
+func benchRuntime(c, b int) *psmpi.Runtime {
+	sys := machine.New(c, b)
+	return psmpi.NewRuntime(sys, fabric.New(sys, fabric.Config{}), psmpi.Config{})
+}
+
+// benchChunk is how many iterations one launched job performs. Chunking b.N
+// into fresh jobs on fresh systems keeps the virtual link history at a
+// realistic per-job size (a benchmark that ran millions of messages over one
+// fabric would mostly measure the ever-growing reservation history, which no
+// real sweep scenario has) and includes the job boot cost sweeps actually
+// pay.
+const benchChunk = 512
+
+// benchPingPong bounces one message of the given size back and forth between
+// two cluster ranks, b.N times across chunked jobs.
+func benchPingPong(b *testing.B, bytes int) {
+	payload := make([]float64, bytes/8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += benchChunk {
+		iters := min(benchChunk, b.N-done)
+		rt := benchRuntime(2, 0)
+		nodes := rt.System().Module(machine.Cluster)[:2]
+		_, err := rt.Launch(psmpi.LaunchSpec{Nodes: nodes, Main: func(p *psmpi.Proc) error {
+			w := p.World()
+			buf := make([]float64, len(payload))
+			for i := 0; i < iters; i++ {
+				if p.Rank() == 0 {
+					p.SendF64(w, 1, 0, payload)
+					p.RecvF64(w, 1, 1, buf)
+				} else {
+					p.RecvF64(w, 0, 0, buf)
+					p.SendF64(w, 0, 1, payload)
+				}
+			}
+			return nil
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelPingPongEager measures the eager-protocol p2p hot path
+// (1 KiB, below the 16 KiB threshold).
+func BenchmarkKernelPingPongEager(b *testing.B) { benchPingPong(b, 1<<10) }
+
+// BenchmarkKernelPingPongRendezvous measures the rendezvous-protocol p2p hot
+// path (256 KiB: RTS/CTS handshake plus blocking-sender completion).
+func BenchmarkKernelPingPongRendezvous(b *testing.B) { benchPingPong(b, 256<<10) }
+
+// benchAllreduce performs b.N 8-element allreduces over the given rank
+// count, across chunked jobs.
+func benchAllreduce(b *testing.B, ranks int) {
+	chunk := benchChunk
+	if ranks >= 256 {
+		chunk = 64 // large jobs: keep per-job virtual history realistic
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		iters := min(chunk, b.N-done)
+		rt := benchRuntime(ranks, 0)
+		nodes := rt.System().Module(machine.Cluster)[:ranks]
+		_, err := rt.Launch(psmpi.LaunchSpec{Nodes: nodes, Main: func(p *psmpi.Proc) error {
+			w := p.World()
+			buf := make([]float64, 8)
+			for i := 0; i < iters; i++ {
+				buf[0] = float64(p.Rank())
+				p.AllreduceF64(w, buf, psmpi.OpSum)
+			}
+			return nil
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelAllreduce8 exercises the collective tree at prototype scale.
+func BenchmarkKernelAllreduce8(b *testing.B) { benchAllreduce(b, 8) }
+
+// BenchmarkKernelAllreduce64 exercises the collective tree at 8x the
+// prototype's Booster, where host synchronization starts to dominate.
+func BenchmarkKernelAllreduce64(b *testing.B) { benchAllreduce(b, 64) }
+
+// BenchmarkKernelAllreduce512 exercises the collective tree far past the
+// prototype — the scale the fig8-scale experiments run at, where the
+// goroutine-per-rank rendezvous implementation paid for host synchronisation
+// and allocation on every hop.
+func BenchmarkKernelAllreduce512(b *testing.B) { benchAllreduce(b, 512) }
+
+// BenchmarkKernelFig7Split runs the Fig. 7 C+B pipeline (spawn, split
+// solvers, Issend/Irecv exchange, halo traffic, collective diagnostics) on a
+// communication-heavy workload: a small grid over many steps, so the
+// wall-clock weights the pipeline machinery — the execution kernel's hot
+// path — alongside the physics kernels.
+func BenchmarkKernelFig7Split(b *testing.B) {
+	cfg := xpic.QuickConfig(200)
+	cfg.ParticleScale = 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := core.New(1, 1, core.Options{WithoutStorage: true})
+		if _, err := sys.RunXPicSplit(1, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelFig8SplitN8 runs the paper sweep's heaviest scenario — the
+// ci-quick Fig. 8 C+B point at n=8 (16 ranks: spawn, halo and migration
+// traffic, CG collectives, interface exchange) — end to end.
+func BenchmarkKernelFig8SplitN8(b *testing.B) {
+	cfg := xpic.Table2Config()
+	cfg.Steps = 60
+	cfg.ParticleScale = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := core.New(8, 8, core.Options{WithoutStorage: true})
+		if _, err := sys.RunXPicSplit(8, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package engine is the discrete-event execution kernel of the simulation
+// platform: a central virtual-time scheduler that runs the goroutines of a
+// simulated job cooperatively, one at a time, in event order.
+//
+// Every simulated execution context (an MPI rank, a spawned child) is a Task.
+// A task runs until it blocks — on a receive with no matching message, on a
+// rendezvous send awaiting its match, on a device completion — and then parks
+// in the engine. Whoever makes the task runnable again (the matching sender,
+// the receiver that resolves the handshake, the task's own timer) schedules a
+// wakeup event on the kernel's priority queue, which is ordered by virtual
+// time with a stable schedule-order tiebreak (vclock.EventQueue). Parking
+// hands the execution baton to the earliest pending event, so exactly one
+// task executes at any moment and the event order — hence the simulation —
+// is deterministic by construction: host scheduling never decides anything.
+//
+// This replaces the previous execution model, in which every rank goroutine
+// ran free and synchronised through mutexes and condition variables, with
+// determinism maintained by a per-resource ownership protocol. The kernel
+// needs no such protocol (any task may touch any model state; the baton
+// serialises them), burns no host time on lock contention, and makes rank
+// counts cheap: a parked task is a goroutine blocked on a channel plus one
+// queue entry, so simulations of thousands of ranks schedule as fast as the
+// event queue can pop.
+//
+// A blocked task with no pending event to wake it would previously hang the
+// process; the kernel detects this (empty event queue with live blocked
+// tasks) and fails every blocked task with a deadlock error instead.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"clusterbooster/internal/vclock"
+)
+
+// task states.
+const (
+	stateCreated = iota // registered, not yet scheduled
+	stateReady          // has a pending event in the queue
+	stateRunning        // holds the execution baton
+	stateBlocked        // parked, waiting for another task to wake it
+	stateDone           // exited
+)
+
+// Engine is one discrete-event kernel instance, driving the tasks of one
+// simulated job tree. All Engine and Task methods except Run must be called
+// either before Run or from the currently running task ("holding the
+// baton"); the kernel's serialisation makes that safe without locks.
+type Engine struct {
+	queue   vclock.EventQueue
+	blocked []*Task // tasks parked without a pending event
+	live    int     // registered, not yet exited
+	poison  bool    // deadlock detected: blocked tasks fail on resume
+	done    chan struct{}
+
+	stats Stats
+}
+
+// New returns an empty kernel.
+func New() *Engine {
+	return &Engine{done: make(chan struct{})}
+}
+
+// Task is one simulated execution context bound to an Engine.
+type Task struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	state  int
+	bIdx   int  // index in eng.blocked while stateBlocked
+	poison bool // woken only to fail with a deadlock error
+}
+
+// NewTask registers a task. Call StartAt to schedule its first run; the
+// task's goroutine must call WaitStart before touching any simulation state
+// and Exit (via defer) when it returns.
+func (e *Engine) NewTask(name string) *Task {
+	t := &Task{eng: e, name: name, resume: make(chan struct{}, 1), state: stateCreated}
+	e.live++
+	e.stats.Tasks++
+	return t
+}
+
+// StartAt schedules the task's first execution at virtual time at.
+func (t *Task) StartAt(at vclock.Time) {
+	if t.state != stateCreated {
+		panic(fmt.Sprintf("engine: StartAt on task %q in state %d", t.name, t.state))
+	}
+	t.state = stateReady
+	t.eng.queue.Push(at, t)
+}
+
+// WaitStart blocks the task's goroutine until its start event fires.
+func (t *Task) WaitStart() {
+	<-t.resume
+	t.checkPoison()
+}
+
+// Park blocks the task until another task calls WakeAt on it. The baton
+// passes to the earliest pending event; if there is none, every live task is
+// blocked and the kernel fails them all with a deadlock error (Park panics;
+// the job runner converts rank panics to errors).
+func (t *Task) Park() {
+	e := t.eng
+	t.state = stateBlocked
+	t.bIdx = len(e.blocked)
+	e.blocked = append(e.blocked, t)
+	e.stats.Parks++
+	e.notePeak()
+	e.dispatch()
+	<-t.resume
+	t.checkPoison()
+}
+
+// WakeAt schedules a wakeup event for a blocked task at virtual time at.
+// Only the condition-resolver that knows the task is parked may call it.
+func (t *Task) WakeAt(at vclock.Time) {
+	if t.state != stateBlocked {
+		panic(fmt.Sprintf("engine: WakeAt on task %q in state %d", t.name, t.state))
+	}
+	t.eng.unblock(t)
+	t.state = stateReady
+	t.eng.queue.Push(at, t)
+}
+
+// SleepUntil schedules the task's own wakeup at virtual time at and yields.
+// If the task's event is itself the earliest pending one, it keeps the baton
+// and returns immediately — a timer that fires "next" costs two queue
+// operations and no goroutine switch.
+func (t *Task) SleepUntil(at vclock.Time) {
+	e := t.eng
+	e.queue.Push(at, t)
+	next, ok := e.queue.Pop()
+	if !ok {
+		panic("engine: event queue empty after push")
+	}
+	e.stats.Events++
+	nt := next.Payload.(*Task)
+	if nt == t {
+		return // still the earliest: keep running
+	}
+	t.state = stateReady
+	e.stats.Parks++
+	e.stats.Switches++
+	e.notePeak()
+	nt.state = stateRunning
+	nt.resume <- struct{}{}
+	<-t.resume
+	t.checkPoison()
+}
+
+// Exit retires the task: the baton passes to the next event, and the kernel
+// completes when the last task exits. Must be deferred by the task's
+// goroutine (after any panic recovery that should see the baton held).
+func (t *Task) Exit() {
+	e := t.eng
+	if t.state == stateDone {
+		return
+	}
+	t.state = stateDone
+	e.live--
+	if e.live == 0 {
+		close(e.done)
+		return
+	}
+	e.dispatch()
+}
+
+// Run dispatches the first event and blocks until every task has exited.
+// It is called once, from the goroutine that built the job (which is not
+// itself a task and consumes no virtual time).
+func (e *Engine) Run() {
+	if e.live == 0 {
+		return
+	}
+	start := time.Now()
+	e.dispatch()
+	<-e.done
+	e.stats.Wall = time.Since(start)
+	publishGlobal(e.stats)
+}
+
+// dispatch hands the baton to the earliest pending event, or — when no event
+// is pending — declares a deadlock and fails the blocked tasks one by one.
+func (e *Engine) dispatch() {
+	if next, ok := e.queue.Pop(); ok {
+		e.stats.Events++
+		e.stats.Switches++
+		t := next.Payload.(*Task)
+		t.state = stateRunning
+		t.resume <- struct{}{}
+		return
+	}
+	// No pending event, yet live tasks remain: every one of them is blocked.
+	// Fail them sequentially; each poisoned task panics out of Park, its job
+	// wrapper records the error and Exit brings us back here for the next.
+	if len(e.blocked) == 0 {
+		panic(fmt.Sprintf("engine: %d live tasks but none blocked and no events", e.live))
+	}
+	e.poison = true
+	t := e.blocked[0]
+	e.unblock(t)
+	t.state = stateRunning
+	t.poison = true
+	t.resume <- struct{}{}
+}
+
+// unblock removes a task from the blocked set (order-free swap removal).
+func (e *Engine) unblock(t *Task) {
+	last := len(e.blocked) - 1
+	e.blocked[t.bIdx] = e.blocked[last]
+	e.blocked[t.bIdx].bIdx = t.bIdx
+	e.blocked[last] = nil
+	e.blocked = e.blocked[:last]
+}
+
+// checkPoison fails a task that was woken only because the kernel deadlocked.
+func (t *Task) checkPoison() {
+	t.state = stateRunning
+	if t.poison {
+		panic(fmt.Sprintf("engine: deadlock: task %q blocked with no pending events (%d tasks affected)",
+			t.name, len(t.eng.blocked)+1))
+	}
+}
+
+// notePeak records the high-water mark of simultaneously parked tasks.
+func (e *Engine) notePeak() {
+	if parked := e.live - 1; parked > e.stats.PeakParked {
+		e.stats.PeakParked = parked
+	}
+}
+
+// Stats returns this kernel's counters. Valid after Run returns.
+func (e *Engine) Stats() Stats { return e.stats }

@@ -31,6 +31,42 @@ func CIProfile() xpic.Config {
 // fig8NodeCounts is the x axis of Fig. 8 (ranks per solver).
 func fig8NodeCounts() []int { return []int{1, 2, 4, 8} }
 
+// ScaleProfile returns the pinned past-prototype workload: a tall, narrow
+// grid (8 x 2048 cells) whose 2048 rows decompose down to two rows per rank
+// at n = 1024, with reduced steps/particles so the whole strong-scaling
+// series — 1024 Booster nodes included — replays in CI seconds. The paper's
+// prototype stops at 8 nodes per solver; this profile is the registry's
+// standing evidence that the execution kernel keeps rank counts cheap two
+// orders of magnitude past that.
+func ScaleProfile() xpic.Config {
+	return xpic.Config{
+		NX:                  8,
+		NY:                  2048,
+		PPC:                 8,
+		Species:             xpic.DefaultSpecies(),
+		Steps:               8,
+		Dt:                  1.0,
+		Theta:               0.5,
+		CGTol:               1e-10,
+		CGMaxIter:           12,
+		DiagEvery:           4,
+		DensityPerturbation: 0.30,
+		ParticleScale:       4,
+		Seed:                20180521,
+	}
+}
+
+// weakProfile returns the weak-scaling workload for n ranks per solver: a
+// constant 8x32 cell slab per rank (the global grid grows with the machine),
+// so ideal scaling holds the makespan flat and any growth is communication.
+func weakProfile(n int) xpic.Config {
+	cfg := ScaleProfile()
+	cfg.NY = 32 * n
+	cfg.Steps = 6
+	cfg.CGMaxIter = 10
+	return cfg
+}
+
 // sweepOpts maps experiment options onto the sweep engine's.
 func sweepOpts(o Options) sweep.Options {
 	return sweep.Options{Workers: o.Workers, Observer: o.Observer}
@@ -134,10 +170,12 @@ func init() {
 	registerFig3()
 	registerFig7()
 	registerFig8()
+	registerFig8Scale()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()
 	registerSweepPaper()
+	registerSweepXPicWeak()
 }
 
 func registerTable1() {
@@ -340,6 +378,143 @@ func registerFig8() {
 			return "", err
 		}
 		return bench.RenderFig8(res), nil
+	}
+	Register(e)
+}
+
+// fig8ScaleCounts is the x axis of the past-prototype strong-scaling study.
+func fig8ScaleCounts() []int { return []int{16, 64, 256, 1024} }
+
+// registerFig8Scale registers the beyond-prototype continuation of Fig. 8:
+// Cluster+Booster vs Booster-only at 16 to 1024 nodes per solver, on the
+// pinned ScaleProfile workload. The workload is not overridable (the grid
+// only decomposes for NY % 1024 == 0), so deepsim/cbctl runs always
+// reproduce the golden. Efficiencies are normalised to the first point
+// (n = 16), the classic strong-scaling presentation.
+func registerFig8Scale() {
+	counts := fig8ScaleCounts()
+	e := Experiment{
+		Name:    "fig8-scale",
+		Title:   "Beyond the prototype: C+B vs Booster-only strong scaling to n=1024",
+		Version: 1,
+		Grid:    "4 node counts (16,64,256,1024) x 2 execution modes (Booster, C+B), pinned scale workload",
+		Profile: "ci-scale",
+		Tolerance: map[string]float64{
+			"*": 0.02,
+		},
+		// Strong scaling at 2 rows per rank is brutally communication-bound,
+		// and the fixed MPI_Comm_spawn cost cannot amortise over 8 reduced
+		// steps — so C+B honestly loses to Booster-only here (gain < 1), the
+		// same efficiency erosion Fig. 8 shows, extrapolated. The budgets pin
+		// that measured behaviour as a regression floor: a kernel or model
+		// change that degrades the n=1024 point past these bounds fails diff
+		// even after a bless. (The weak-scaling sweep shows the flip side:
+		// with constant per-rank work the split holds its efficiency.)
+		Budgets: []Budget{
+			{Measure: "eff_split_n1024", Kind: MinBudget, Bound: 0.015},
+			{Measure: "gain_vs_booster_n1024", Kind: MinBudget, Bound: 0.2},
+			{Measure: "split_makespan_n1024_s", Kind: MaxBudget, Bound: 0.04},
+		},
+	}
+	e.Run = func(o Options) (Document, error) {
+		cfg := ScaleProfile()
+		grid := sweep.Grid{
+			Name:       "fig8-scale",
+			NodeCounts: counts,
+			Modes:      []xpic.Mode{xpic.BoosterOnly, xpic.SplitCB},
+			Workloads:  []sweep.WorkloadVariant{{Name: "scale", Config: cfg}},
+		}
+		scen, err := grid.Scenarios()
+		if err != nil {
+			return Document{}, err
+		}
+		rs := sweep.Run(scen, sweepOpts(o))
+		if err := rs.FirstError(); err != nil {
+			return Document{}, fmt.Errorf("exp: fig8-scale: %w", err)
+		}
+		// Grid order: node counts outermost, then [Booster, C+B].
+		makespan := func(i int) (booster, split float64) {
+			return rs.Results[2*i].Metrics["makespan_s"], rs.Results[2*i+1].Metrics["makespan_s"]
+		}
+		b0, s0 := makespan(0)
+		n0 := float64(counts[0])
+		measures := map[string]float64{}
+		for i, n := range counts {
+			b, s := makespan(i)
+			measures[fmt.Sprintf("booster_makespan_n%d_s", n)] = b
+			measures[fmt.Sprintf("split_makespan_n%d_s", n)] = s
+			// Strong-scaling efficiency relative to the n=16 point.
+			measures[fmt.Sprintf("eff_booster_n%d", n)] = b0 * n0 / (b * float64(n))
+			measures[fmt.Sprintf("eff_split_n%d", n)] = s0 * n0 / (s * float64(n))
+			measures[fmt.Sprintf("gain_vs_booster_n%d", n)] = b / s
+		}
+		meta := profileMeta(cfg, "ci-scale")
+		return e.document(meta, measures, rs)
+	}
+	e.Render = func(d Document) (string, error) {
+		rs, err := parsePayload[sweep.ResultSet](d)
+		if err != nil {
+			return "", err
+		}
+		return rs.RenderText(), nil
+	}
+	Register(e)
+}
+
+// registerSweepXPicWeak registers the weak-scaling grid: a constant slab per
+// rank while the machine grows, Booster-only and C+B. Under ideal weak
+// scaling the makespan stays flat; the budget bounds how much the growing
+// halo/collective traffic may erode it.
+func registerSweepXPicWeak() {
+	counts := []int{4, 16, 64, 256}
+	e := Experiment{
+		Name:      "sweep/xpic-weak",
+		Title:     "Raw sweep: xPic weak scaling (constant 8x32-cell slab per rank)",
+		Version:   1,
+		Grid:      "4 node counts (4,16,64,256) x 2 execution modes (Booster, C+B), per-rank workload constant",
+		Profile:   "ci-scale",
+		Tolerance: map[string]float64{"*": 0.02},
+		// Measured at ci-scale: the split mode holds ~95 % weak efficiency at
+		// n=256 (the spawn cost amortises and per-rank work is constant)
+		// while Booster-only erodes to ~62 % under the growing collectives —
+		// the weak-scaling argument for the Cluster-Booster architecture.
+		Budgets: []Budget{
+			{Measure: "weak_eff_split_n256", Kind: MinBudget, Bound: 0.85},
+			{Measure: "weak_eff_booster_n256", Kind: MinBudget, Bound: 0.5},
+			{Measure: "max_makespan_s", Kind: MaxBudget, Bound: 0.05},
+		},
+	}
+	e.Run = func(o Options) (Document, error) {
+		var scen []sweep.Scenario
+		for _, n := range counts {
+			for _, mode := range []xpic.Mode{xpic.BoosterOnly, xpic.SplitCB} {
+				p := sweep.XPicPoint{NodesPerSolver: n, Mode: mode, Workload: weakProfile(n)}
+				scen = append(scen, p.Scenario(fmt.Sprintf("weak/n=%d/%s", n, mode)))
+			}
+		}
+		rs := sweep.Run(scen, sweepOpts(o))
+		if err := rs.FirstError(); err != nil {
+			return Document{}, fmt.Errorf("exp: sweep/xpic-weak: %w", err)
+		}
+		measures := sweepMeasures(rs)
+		makespan := func(i int) (booster, split float64) {
+			return rs.Results[2*i].Metrics["makespan_s"], rs.Results[2*i+1].Metrics["makespan_s"]
+		}
+		b0, s0 := makespan(0)
+		for i, n := range counts {
+			b, s := makespan(i)
+			// Weak-scaling efficiency: T(n0) / T(n) per mode.
+			measures[fmt.Sprintf("weak_eff_booster_n%d", n)] = b0 / b
+			measures[fmt.Sprintf("weak_eff_split_n%d", n)] = s0 / s
+		}
+		return e.document(map[string]string{"profile": "ci-scale"}, measures, rs)
+	}
+	e.Render = func(d Document) (string, error) {
+		rs, err := parsePayload[sweep.ResultSet](d)
+		if err != nil {
+			return "", err
+		}
+		return rs.RenderText(), nil
 	}
 	Register(e)
 }

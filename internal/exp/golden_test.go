@@ -11,9 +11,11 @@ import (
 // checkpointed grid (seconds of host time). The CI golden job (`cbctl diff
 // -all`) and the full `go test ./...` run cover them.
 var heavyExperiments = map[string]bool{
-	"fig8":        true,
-	"sweep/fig8":  true,
-	"sweep/paper": true,
+	"fig8":            true,
+	"fig8-scale":      true,
+	"sweep/fig8":      true,
+	"sweep/paper":     true,
+	"sweep/xpic-weak": true,
 }
 
 // TestGoldensMatch replays every registered experiment and requires the

@@ -15,8 +15,11 @@
 //     to the same fabric-limited bandwidth, as Fig. 3 shows for large sizes.
 //
 // Each node has an injection and an ejection link modelled as shared
-// resources (vclock.SharedClock), which serialises concurrent transfers and
-// yields contention behaviour for free.
+// resources (vclock.SharedClock), which serialises overlapping transfers and
+// yields contention behaviour for free. Link clocks are execution-kernel
+// resources: the discrete-event kernel (internal/engine) runs one simulated
+// task at a time, so reservations arrive pre-serialised in virtual-time
+// order and the model needs no locking and no ownership discipline.
 package fabric
 
 import (
@@ -139,14 +142,13 @@ func (n *Network) ZeroLatency(src, dst *machine.Node) vclock.Time {
 	return sendOverhead(src.Spec) + n.cfg.WireLatency + recvOverhead(dst.Spec)
 }
 
-// Link determinism: every link clock has exactly one deterministic owner.
-// The injection link of a node is reserved only from the goroutine of the
-// rank running on that node (eager sends at send time, rendezvous DMAs at
-// issue time), and the ejection link only from the receiving rank's
-// goroutine at receive-completion time (its program order). Timing that
-// crosses goroutines (rendezvous match) is pure arithmetic over envelope
-// data. This is what makes whole simulations bit-deterministic under
-// host-parallel execution — see DESIGN.md decision 1.
+// Link determinism: reservations are booked at the modelled instant they
+// happen on the hardware — injection at send/issue time in the sender's
+// program order, ejection at receive-completion time in the receiver's
+// program order — and the execution kernel schedules those program points in
+// virtual-time order, one task at a time. Determinism is therefore by
+// construction; the per-link ownership protocol that used to enforce it
+// under free-running rank goroutines is gone. See DESIGN.md decision 1.
 
 // EagerSend models the sender side of an eager transfer of size bytes that
 // becomes ready (sender CPU available) at ready. It returns:
@@ -174,8 +176,8 @@ func (n *Network) EagerSend(src, dst *machine.Node, size int, ready vclock.Time)
 }
 
 // EagerEject serialises an eager message on the destination's ejection link
-// and returns the effective arrival. Must be called from the receiving
-// rank's goroutine (receive-completion order). Intra-node messages skip it.
+// and returns the effective arrival. Called at receive-completion time.
+// Intra-node messages skip it.
 func (n *Network) EagerEject(dst *machine.Node, size int, nicArrival vclock.Time) vclock.Time {
 	wireTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * 1e9))
 	_, ejEnd := n.eject[dst.ID].Reserve(nicArrival-wireTime, wireTime)
@@ -189,23 +191,27 @@ func (n *Network) EagerRecvCost(dst *machine.Node, size int) vclock.Time {
 	return recvOverhead(dst.Spec) + copyOut
 }
 
-// Rendezvous (RTS/CTS + RDMA) transfers are split into three phases so each
-// shared link keeps a single deterministic owner:
+// Rendezvous (RTS/CTS + RDMA) transfers are timed in three phases because
+// the hardware books its resources at three distinct moments — not as a
+// concurrency protocol:
 //
-//	RendezvousIssue — sender side at issue time: books the injection link.
-//	RendezvousMatch — at match time, any goroutine: pure arithmetic, yields
-//	                  the sender-completion (DMA done, buffer reusable).
-//	RendezvousEject — receiver side at completion time: books the ejection
-//	                  link and yields the effective arrival.
+//	RendezvousIssue — at issue time: posts the RTS and books the injection
+//	                  link at its earliest slot (the NIC queues the DMA
+//	                  descriptor when the send is issued).
+//	RendezvousMatch — at match time: pure arithmetic over the envelope,
+//	                  yields the sender-completion (DMA done, buffer
+//	                  reusable).
+//	RendezvousEject — at receive-completion time: books the ejection link
+//	                  and yields the effective arrival.
 //
-// The combined Rendezvous below chains all three for single-goroutine
-// callers (buddy checkpoint copies, microbenchmarks, tests).
+// The combined Rendezvous below chains all three for single-caller contexts
+// (buddy checkpoint copies, microbenchmarks, tests).
 
 // RendezvousIssue books the sender's injection link for the DMA at its
 // earliest possible slot (receiver already posted — the overlap-optimised
 // common case; a late receiver only shifts the transfer via RendezvousMatch).
 // It returns the RTS arrival time at the receiver's NIC and the booked
-// injection end. Must be called from the sending rank's goroutine.
+// injection end. Called at send-issue time.
 func (n *Network) RendezvousIssue(src, dst *machine.Node, size int, senderReady vclock.Time) (rts, injEnd vclock.Time) {
 	if size < 0 {
 		panic(fmt.Sprintf("fabric: negative size %d", size))
@@ -223,8 +229,7 @@ func (n *Network) RendezvousIssue(src, dst *machine.Node, size int, senderReady 
 
 // RendezvousMatch computes when the sender's transfer completes (DMA done,
 // buffer reusable) for a message issued at (rts, injEnd) and matched by a
-// receive posted at recvPosted. Pure arithmetic over the arguments — safe
-// from any goroutine.
+// receive posted at recvPosted. Pure arithmetic over the arguments.
 func (n *Network) RendezvousMatch(src, dst *machine.Node, size int, rts, injEnd, recvPosted vclock.Time) (senderDone vclock.Time) {
 	if src.ID == dst.ID {
 		// Shared memory: single copy by the source CPU once both are ready.
@@ -240,8 +245,8 @@ func (n *Network) RendezvousMatch(src, dst *machine.Node, size int, rts, injEnd,
 }
 
 // RendezvousEject serialises the transfer on the receiver's ejection link
-// and returns the effective arrival. Must be called from the receiving
-// rank's goroutine (receive-completion order). Intra-node transfers skip it.
+// and returns the effective arrival. Called at receive-completion time.
+// Intra-node transfers skip it.
 func (n *Network) RendezvousEject(dst *machine.Node, size int, senderDone vclock.Time) vclock.Time {
 	dmaTime := vclock.Time(float64(size) / (n.cfg.LinkGBs * n.cfg.RDMAEfficiency * 1e9))
 	_, ejEnd := n.eject[dst.ID].Reserve(senderDone+n.cfg.WireLatency-dmaTime, dmaTime)

@@ -47,7 +47,7 @@ func (o Op) apply(dst, src []float64) {
 
 // collTag reserves a fresh tag block for one collective invocation on comm.
 // Every rank calls collectives in the same order (an MPI requirement), so the
-// per-comm sequence numbers agree across ranks without synchronisation.
+// per-rank sequence counters agree across ranks without synchronisation.
 func (p *Proc) collTag(c *Comm) int {
 	if c.IsInter() {
 		panic("psmpi: collectives on inter-communicators are not supported")
@@ -55,8 +55,9 @@ func (p *Proc) collTag(c *Comm) int {
 	if c.Size() > collTagBlock {
 		panic(fmt.Sprintf("psmpi: communicator size %d exceeds collective tag block %d", c.Size(), collTagBlock))
 	}
-	seq := p.collSeq[c.id]
-	p.collSeq[c.id] = seq + 1
+	me := p.rankIn(c)
+	seq := c.collSeq[me]
+	c.collSeq[me] = seq + 1
 	return MaxUserTag + int(seq)*collTagBlock
 }
 
@@ -84,7 +85,9 @@ func (p *Proc) Barrier(c *Comm) {
 // recvTagged is Recv for internal (reserved-tag) traffic.
 func (p *Proc) recvTagged(c *Comm, src, tag int) any {
 	e := p.recvCommon(c, src, tag)
-	return e.data
+	data := e.data
+	p.releaseEnv(e)
+	return data
 }
 
 // Bcast broadcasts data (of the given wire size) from root to all ranks using
@@ -131,6 +134,10 @@ func (p *Proc) BcastF64(c *Comm, root int, buf []float64) {
 
 // ReduceF64 reduces buf elementwise onto root with op (binomial tree). On
 // root, buf holds the result afterwards; on other ranks buf is untouched.
+// The accumulators travel rank to rank inside the collective and die at the
+// receiving end, so they come from the launch's buffer pool: a sent
+// accumulator is recycled by its receiver after the reduction step, the
+// root's after the final copy-out.
 func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 	p.Stats.Collectives++
 	base := p.collTag(c)
@@ -138,7 +145,9 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 	n := c.Size()
 	rel := (me - root + n) % n
 
-	acc := append([]float64(nil), buf...)
+	acc := p.l.getF64(len(buf))
+	copy(acc, buf)
+	sent := false
 	for mask := 1; mask < n; mask <<= 1 {
 		if rel&mask == 0 {
 			srcRel := rel | mask
@@ -146,16 +155,21 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 				src := (srcRel + root) % n
 				part := p.recvTagged(c, src, base).([]float64)
 				op.apply(acc, part)
+				p.l.putF64(part)
 			}
 		} else {
 			dstRel := rel &^ mask
 			dst := (dstRel + root) % n
 			p.sendTagged(c, dst, base, acc, 8*len(acc), modeStandard, true)
+			sent = true
 			break
 		}
 	}
 	if me == root {
 		copy(buf, acc)
+	}
+	if !sent {
+		p.l.putF64(acc)
 	}
 }
 
@@ -166,9 +180,15 @@ func (p *Proc) AllreduceF64(c *Comm, buf []float64, op Op) {
 	p.BcastF64(c, 0, buf)
 }
 
-// AllreduceScalar reduces a single float64 across the communicator.
+// AllreduceScalar reduces a single float64 across the communicator. The
+// one-element working buffer is a per-rank scratch: the collectives below
+// only read it (and write the result back), never retain it.
 func (p *Proc) AllreduceScalar(c *Comm, v float64, op Op) float64 {
-	buf := []float64{v}
+	if p.scalarBuf == nil {
+		p.scalarBuf = make([]float64, 1)
+	}
+	buf := p.scalarBuf
+	buf[0] = v
 	p.AllreduceF64(c, buf, op)
 	return buf[0]
 }

@@ -9,6 +9,12 @@ type Comm struct {
 	id     uint64
 	local  []*Proc // the local group, indexed by rank
 	remote []*Proc // remote group for inter-communicators, else nil
+
+	// collSeq counts collective invocations per local rank (each rank only
+	// touches its own slot). All ranks call the same collectives in the same
+	// order, so the counters agree and tag blocks match without any
+	// cross-rank coordination.
+	collSeq []uint64
 }
 
 // Size returns the number of processes in the local group.

@@ -54,7 +54,7 @@ func (p *Proc) Split(c *Comm, color, key int) *Comm {
 		return members[i].rank < members[j].rank
 	})
 
-	newComm := p.rt.splitComm(c, p.collSeq[c.id], color, members)
+	newComm := p.rt.splitComm(c, c.collSeq[me], color, members)
 	for newRank, m := range members {
 		if m.rank == me {
 			p.commRank[newComm.id] = newRank
@@ -81,6 +81,7 @@ func (rt *Runtime) splitComm(parent *Comm, seq uint64, color int, members []spli
 	for _, m := range members {
 		c.local = append(c.local, parent.local[m.rank])
 	}
+	c.collSeq = make([]uint64, len(c.local))
 	rt.splitCache[cacheKey] = c
 	return c
 }
@@ -104,11 +105,11 @@ func (p *Proc) Sendrecv(c *Comm, dst, sendTag int, data any, bytes int, src, rec
 }
 
 // Probe blocks until a matching message is available and returns its status
-// without receiving it (MPI_Probe). The message stays queued.
+// without receiving it (MPI_Probe). The message stays queued. While no match
+// is queued the rank parks in the kernel; every newly delivered unexpected
+// message re-runs the scan.
 func (p *Proc) Probe(c *Comm, src, tag int) Status {
 	mb := p.mbox
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	probe := postedRecv{commID: c.id, src: src, tag: tag}
 	for {
 		for _, e := range mb.unexpected {
@@ -116,17 +117,15 @@ func (p *Proc) Probe(c *Comm, src, tag int) Status {
 				return Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
 			}
 		}
-		mb.cond.Wait()
+		mb.probers = append(mb.probers, p)
+		p.task.Park()
 	}
 }
 
 // Iprobe checks for a matching message without blocking (MPI_Iprobe).
 func (p *Proc) Iprobe(c *Comm, src, tag int) (Status, bool) {
-	mb := p.mbox
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	probe := postedRecv{commID: c.id, src: src, tag: tag}
-	for _, e := range mb.unexpected {
+	for _, e := range p.mbox.unexpected {
 		if probe.matches(e) {
 			return Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}, true
 		}

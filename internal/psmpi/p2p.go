@@ -2,13 +2,17 @@ package psmpi
 
 import (
 	"fmt"
-	"sync"
 
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
 )
 
-// envelope is a message in flight.
+// envelope is a message in flight. Envelopes are pooled per launch: refs
+// counts the parties that still read the envelope (the receiver; plus the
+// sender for rendezvous messages, which reads the completion time resolved
+// at match), and the last one returns it to the free list. The kernel's
+// serialisation makes the pool safe without any synchronisation.
 type envelope struct {
 	commID    uint64
 	src       int // sender's rank in its group
@@ -16,17 +20,21 @@ type envelope struct {
 	data      any
 	bytes     int
 	seq       uint64
+	refs      int8
 	eager     bool
 	interComm bool        // sent on an inter-communicator (staged path)
 	arrival   vclock.Time // eager only: when data is at the destination NIC
 
-	// Rendezvous handshake state (timed via the fabric's three-phase
-	// rendezvous so every link clock keeps a single deterministic owner).
-	srcNode    *machine.Node    // needed to time the transfer at match time
-	rts        vclock.Time      // RTS at the receiver NIC (RendezvousIssue)
-	injEnd     vclock.Time      // booked injection-link end (RendezvousIssue)
-	dmaEnd     vclock.Time      // sender completion, set at match under the mailbox lock
-	senderDone chan vclock.Time // match reports the sender's completion
+	// Rendezvous handshake state. The fabric times the transfer in three
+	// phases (issue, match, eject) so each booking happens at the modelled
+	// instant it occurs on the hardware; the execution kernel serialises the
+	// calls, so any task may resolve any phase.
+	srcNode      *machine.Node // needed to time the transfer at match time
+	rts          vclock.Time   // RTS at the receiver NIC (RendezvousIssue)
+	injEnd       vclock.Time   // booked injection-link end (RendezvousIssue)
+	dmaEnd       vclock.Time   // sender completion, resolved at match
+	dmaDone      bool          // dmaEnd is valid
+	senderWaiter *engine.Task  // sender parked awaiting the match, if any
 }
 
 // postedRecv is a receive posted before its message arrived.
@@ -37,6 +45,7 @@ type postedRecv struct {
 	posted vclock.Time
 	env    *envelope // set when matched
 	done   bool
+	waiter *engine.Task // receiver parked on this receive, if any
 }
 
 func (pr *postedRecv) matches(e *envelope) bool {
@@ -46,57 +55,77 @@ func (pr *postedRecv) matches(e *envelope) bool {
 }
 
 // mailbox holds a rank's unexpected-message queue and posted-receive queue,
-// with standard MPI matching precedence.
+// with standard MPI matching precedence. The execution kernel runs exactly
+// one rank at a time, so the mailbox needs no locking: deliver (called by
+// the sending rank) and the receive paths (called by the owning rank) can
+// never overlap.
 type mailbox struct {
-	mu         sync.Mutex
-	cond       *sync.Cond
 	unexpected []*envelope
 	posted     []*postedRecv
+	probers    []*Proc // ranks parked in Probe, woken on new unexpected mail
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
+func newMailbox() *mailbox { return &mailbox{} }
 
-// deliver is called from the sender's goroutine. It matches the envelope
-// against posted receives (in post order) or queues it as unexpected. For
-// rendezvous messages matched against a posted receive, the sender's
-// completion is resolved here (pure arithmetic — the receive-post time is
-// already known and no link state is touched), so a blocking sender never
-// waits for the receiver to reach its own completion call. Ejection-link
-// serialisation and the receiver-side arrival happen later, in the
-// receiver's goroutine.
+// deliver is called from the sender's task. It matches the envelope against
+// posted receives (in post order) or queues it as unexpected. For rendezvous
+// messages matched against a posted receive, the sender's completion is
+// resolved here (pure arithmetic — the receive-post time is already known
+// and no link state is touched), so a blocking sender never waits for the
+// receiver to reach its own completion call. Ejection-link serialisation and
+// the receiver-side arrival happen later, in the receiver's task.
 func (mb *mailbox) deliver(e *envelope, dst *Proc) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
 	for _, pr := range mb.posted {
 		if pr.env == nil && pr.matches(e) {
 			completeMatch(pr, e, dst)
-			mb.cond.Broadcast()
 			return
 		}
 	}
 	mb.unexpected = append(mb.unexpected, e)
-	mb.cond.Broadcast()
+	// New unexpected mail: re-run any parked Probe loops.
+	for _, q := range mb.probers {
+		q.task.WakeAt(q.clock.Now())
+	}
+	mb.probers = mb.probers[:0]
 }
 
 // completeMatch resolves a (posted receive, envelope) pair: for rendezvous
-// messages it computes and releases the sender's completion time. Caller
-// holds the mailbox lock.
+// messages it computes the sender's completion time, and it wakes whichever
+// side is parked on the outcome — the sender blocked in waitSend at its
+// transfer completion, the receiver blocked in Recv/Wait at the message's
+// arrival estimate.
 func completeMatch(pr *postedRecv, e *envelope, dst *Proc) {
 	pr.env = e
 	if !e.eager {
 		e.dmaEnd = dst.rt.net.RendezvousMatch(
 			e.srcNode, dst.node, e.bytes, e.rts, e.injEnd, pr.posted)
-		e.senderDone <- e.dmaEnd
+		e.dmaDone = true
+		if w := e.senderWaiter; w != nil {
+			e.senderWaiter = nil
+			w.WakeAt(e.dmaEnd)
+		}
 	}
 	pr.done = true
+	if w := pr.waiter; w != nil {
+		pr.waiter = nil
+		w.WakeAt(recvWake(pr, e))
+	}
+}
+
+// recvWake is the virtual time at which a matched receive's waiter resumes:
+// the message's arrival estimate, no earlier than the receive was posted.
+// (The receiver recomputes the exact arrival — ejection-link serialisation
+// included — when it completes the receive; the wakeup time only orders the
+// resume among the kernel's events.)
+func recvWake(pr *postedRecv, e *envelope) vclock.Time {
+	if e.eager {
+		return vclock.Max(pr.posted, e.arrival)
+	}
+	return vclock.Max(pr.posted, e.dmaEnd)
 }
 
 // takeUnexpected removes and returns the first unexpected envelope matching
-// (commID, src, tag), or nil. Caller holds the lock.
+// (commID, src, tag), or nil.
 func (mb *mailbox) takeUnexpected(commID uint64, src, tag int) *envelope {
 	probe := postedRecv{commID: commID, src: src, tag: tag}
 	for i, e := range mb.unexpected {
@@ -114,14 +143,14 @@ type Request struct {
 	done bool
 
 	// send-side
-	isSend     bool
-	senderDone chan vclock.Time // rendezvous/synchronous sends
-	sendFree   vclock.Time      // eager sends: sender completion time
+	isSend bool
+	env    *envelope // rendezvous/synchronous sends: handshake state
 
 	// recv-side
-	pr   *postedRecv
-	mb   *mailbox
-	data *any // receive destination
+	pr     *postedRecv
+	mb     *mailbox
+	data   any    // extracted payload, once completed
+	status Status // extracted status, once completed
 }
 
 // sendMode selects the send protocol.
@@ -157,57 +186,65 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendM
 	p.Stats.BytesSent += int64(bytes)
 	p.sendSeq++
 
-	e := &envelope{
+	e := p.l.newEnv()
+	*e = envelope{
 		commID:    c.id,
 		src:       p.rankIn(c),
 		tag:       tag,
 		data:      data,
 		bytes:     bytes,
 		seq:       p.sendSeq,
+		refs:      1, // the receiver
 		srcNode:   p.node,
 		interComm: c.IsInter(),
 	}
 
-	eager := mode == modeStandard && p.rt.net.Eager(bytes)
-	req := &Request{p: p, isSend: true}
-	if eager {
+	if mode == modeStandard && p.rt.net.Eager(bytes) {
 		senderFree, nicArrival := p.rt.net.EagerSend(p.node, target.node, bytes, begin)
 		e.eager = true
 		e.arrival = nicArrival
-		req.sendFree = senderFree
-	} else {
-		e.senderDone = make(chan vclock.Time, 1)
-		req.senderDone = e.senderDone
-		e.rts, e.injEnd = p.rt.net.RendezvousIssue(p.node, target.node, bytes, begin)
-	}
-	target.mbox.deliver(e, target)
-
-	if eager {
+		target.mbox.deliver(e, target)
 		// The sending CPU is busy until the NIC has the data, then free.
-		p.elapseComm(req.sendFree)
-		req.done = true
+		p.elapseComm(senderFree)
 		if blocking {
 			return nil
 		}
-		return req
+		// Eager sends complete locally: the request is born done.
+		return &Request{p: p, isSend: true, done: true}
 	}
+	e.refs++ // the sender reads the matched completion time
+	e.rts, e.injEnd = p.rt.net.RendezvousIssue(p.node, target.node, bytes, begin)
+	target.mbox.deliver(e, target)
 	// Rendezvous: the sender's CPU pays the issue overhead (posting the RTS)
 	// and may then continue; completion arrives through the handshake.
 	p.addComm(p.rt.net.SendOverheadOf(p.node))
 	if blocking {
-		p.waitSend(req)
+		p.waitSendEnv(e)
 		return nil
 	}
-	return req
+	return &Request{p: p, isSend: true, env: e}
 }
 
+// waitSend completes a non-blocking send request.
 func (p *Proc) waitSend(req *Request) {
 	if req.done {
 		return
 	}
-	done := <-req.senderDone
-	p.elapseComm(done)
+	p.waitSendEnv(req.env)
+	req.env = nil
 	req.done = true
+}
+
+// waitSendEnv blocks until a rendezvous send's transfer completes. If the
+// match has not happened yet, the sender parks in the kernel; the receiver's
+// match resolves the completion time and wakes it exactly then.
+func (p *Proc) waitSendEnv(e *envelope) {
+	if !e.dmaDone {
+		e.senderWaiter = p.task
+		p.task.Park()
+	}
+	p.elapseComm(e.dmaEnd)
+	p.releaseEnv(e)
 }
 
 // Send is a blocking standard-mode send (MPI_Send): it returns when the send
@@ -234,24 +271,22 @@ func (p *Proc) recvCommon(c *Comm, src, tag int) *envelope {
 	traceStart := p.clock.Now()
 	defer p.record("recv", traceStart)
 	mb := p.mbox
-	mb.mu.Lock()
 	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
-		mb.mu.Unlock()
 		p.completeRecvUnexpected(e)
 		return e
 	}
-	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+	// A blocking receive's posting lives only until this call returns, so it
+	// reuses a per-rank scratch record instead of allocating.
+	pr := &p.recvScratch
+	*pr = postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now(), waiter: p.task}
 	mb.posted = append(mb.posted, pr)
-	for !pr.done {
-		mb.cond.Wait()
-	}
+	p.task.Park()
 	mb.removePosted(pr)
-	mb.mu.Unlock()
 	p.completeRecvPosted(pr)
 	return pr.env
 }
 
-// removePosted drops a completed posted receive. Caller holds the lock.
+// removePosted drops a completed posted receive.
 func (mb *mailbox) removePosted(pr *postedRecv) {
 	for i, q := range mb.posted {
 		if q == pr {
@@ -262,8 +297,7 @@ func (mb *mailbox) removePosted(pr *postedRecv) {
 }
 
 // completeRecvUnexpected times a receive that found its message already
-// queued (sender was first). Runs in the receiver's goroutine, which owns
-// the node's ejection link.
+// queued (sender was first).
 func (p *Proc) completeRecvUnexpected(e *envelope) {
 	p.Stats.Recvs++
 	p.Stats.BytesRecv += int64(e.bytes)
@@ -275,13 +309,16 @@ func (p *Proc) completeRecvUnexpected(e *envelope) {
 	}
 	e.dmaEnd = p.rt.net.RendezvousMatch(
 		e.srcNode, p.node, e.bytes, e.rts, e.injEnd, p.clock.Now())
-	e.senderDone <- e.dmaEnd
+	e.dmaDone = true
+	if w := e.senderWaiter; w != nil {
+		e.senderWaiter = nil
+		w.WakeAt(e.dmaEnd)
+	}
 	p.elapseComm(p.rendezvousArrival(e))
 	p.stageInterRecv(e)
 }
 
 // completeRecvPosted times a receive whose posting preceded the message.
-// Runs in the receiver's goroutine, which owns the node's ejection link.
 func (p *Proc) completeRecvPosted(pr *postedRecv) {
 	e := pr.env
 	p.Stats.Recvs++
@@ -296,8 +333,8 @@ func (p *Proc) completeRecvPosted(pr *postedRecv) {
 	p.stageInterRecv(e)
 }
 
-// eagerArrival serialises an eager message on this rank's ejection link
-// (intra-node messages have no link to serialise on).
+// eagerArrival serialises an eager message on this rank's ejection link at
+// receive-completion time (intra-node messages have no link to serialise on).
 func (p *Proc) eagerArrival(e *envelope) vclock.Time {
 	if e.srcNode.ID == p.node.ID {
 		return e.arrival
@@ -306,8 +343,8 @@ func (p *Proc) eagerArrival(e *envelope) vclock.Time {
 }
 
 // rendezvousArrival serialises a matched rendezvous transfer on this rank's
-// ejection link. e.dmaEnd was resolved at match time (under the mailbox
-// lock, before pr.done was observed), so reading it here is safe.
+// ejection link. e.dmaEnd was resolved at match time, before this rank
+// resumed, so reading it here is safe.
 func (p *Proc) rendezvousArrival(e *envelope) vclock.Time {
 	if e.srcNode.ID == p.node.ID {
 		return e.dmaEnd
@@ -327,24 +364,22 @@ func (p *Proc) stageInterRecv(e *envelope) {
 // its status. src may be AnySource and tag may be AnyTag.
 func (p *Proc) Recv(c *Comm, src, tag int) (any, Status) {
 	e := p.recvCommon(c, src, tag)
-	return e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	data, st := e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	p.releaseEnv(e)
+	return data, st
 }
 
 // Irecv posts a non-blocking receive (MPI_Irecv); complete it with Wait.
 func (p *Proc) Irecv(c *Comm, src, tag int) *Request {
 	mb := p.mbox
 	req := &Request{p: p, mb: mb}
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+	req.pr = pr
 	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
-		pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
 		completeMatch(pr, e, p)
-		req.pr = pr
 		return req
 	}
-	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
 	mb.posted = append(mb.posted, pr)
-	req.pr = pr
 	return req
 }
 
@@ -368,19 +403,21 @@ func (p *Proc) Wait(req *Request) (any, Status) {
 		return nil, Status{}
 	}
 	pr := req.pr
-	mb := req.mb
-	mb.mu.Lock()
-	for !pr.done {
-		mb.cond.Wait()
-	}
-	mb.removePosted(pr)
-	mb.mu.Unlock()
 	if !req.done {
+		if !pr.done {
+			pr.waiter = p.task
+			p.task.Park()
+		}
+		req.mb.removePosted(pr)
 		p.completeRecvPosted(pr)
+		e := pr.env
+		req.data = e.data
+		req.status = Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+		pr.env = nil
+		p.releaseEnv(e)
 		req.done = true
 	}
-	e := pr.env
-	return e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	return req.data, req.status
 }
 
 // Waitall completes all requests (MPI_Waitall).

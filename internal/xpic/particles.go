@@ -160,6 +160,79 @@ func (ps *ParticleSolver) deposit(a []float64, x, y, w float64) {
 	a[g.Idx(g.WrapX(ix+1), iy+1)] += w * fx * fy
 }
 
+// stencil is the shared bilinear (cloud-in-cell) stencil of one particle:
+// the four cell indices and the weight factors every per-component
+// interpolation and deposit reuses. Computing it once per particle (instead
+// of once per field component) is what makes the hot kernels fast; the
+// per-component arithmetic keeps exactly the shape of interp/deposit, so the
+// results stay bit-identical.
+type stencil struct {
+	i00, i10, i01, i11 int
+	fx, fy, gx, gy     float64 // fractional offsets and their complements
+}
+
+// makeStencil builds the stencil for global coordinates (x, y) on a slab
+// whose row 1 covers global [y0, y0+1); x must lie in [0, nx] (the periodic
+// wrap leaves positions there) and y within the slab. Small enough to inline
+// into the particle loops.
+func makeStencil(x, y, y0 float64, nx int) stencil {
+	ly := y - y0 + 1
+	ix := int(math.Floor(x))
+	iy := int(math.Floor(ly))
+	fx := x - float64(ix)
+	fy := ly - float64(iy)
+	if ix >= nx { // x == NX exactly (wrap boundary)
+		ix -= nx
+	}
+	ixp := ix + 1
+	if ixp >= nx {
+		ixp -= nx
+	}
+	row := iy * nx
+	return stencil{
+		i00: row + ix, i10: row + ixp, i01: row + ix + nx, i11: row + ixp + nx,
+		fx: fx, fy: fy, gx: 1 - fx, gy: 1 - fy,
+	}
+}
+
+// gather evaluates a field at the stencil — interp with the stencil hoisted.
+func (st stencil) gather(a []float64) float64 {
+	return a[st.i00]*st.gx*st.gy + a[st.i10]*st.fx*st.gy + a[st.i01]*st.gx*st.fy + a[st.i11]*st.fx*st.fy
+}
+
+// scatter adds w·weight to the four stencil cells — deposit with the stencil
+// hoisted.
+func (st stencil) scatter(a []float64, w float64) {
+	a[st.i00] += w * st.gx * st.gy
+	a[st.i10] += w * st.fx * st.gy
+	a[st.i01] += w * st.gx * st.fy
+	a[st.i11] += w * st.fx * st.fy
+}
+
+// wrapPeriodic wraps x into [0, L) after a position push, bit-identically to
+// the reference form `x = math.Mod(x, l); if x < 0 { x += l }`: fmod is
+// exact, and for single-period excursions it reduces to one subtraction
+// (exact by Sterbenz' lemma on [l, 2l]) or one addition (Mod(x, l) == x for
+// |x| < l). Pathological velocities fall back to Mod itself.
+func wrapPeriodic(x, l float64) float64 {
+	if x >= l {
+		if x < 2*l {
+			return x - l
+		}
+		return math.Mod(x, l)
+	}
+	if x < 0 {
+		if x >= -l {
+			return x + l
+		}
+		x = math.Mod(x, l)
+		if x < 0 {
+			x += l
+		}
+	}
+	return x
+}
+
 // Move advances all particles one step with the Boris scheme under the
 // current E and B (ParticlesMove of Listing 1) and charges the particle
 // kernel cost for the *configured* particle count (scale-invariant timing).
@@ -169,20 +242,24 @@ func (ps *ParticleSolver) Move(p *psmpi.Proc) {
 	ex, ey, ez := g.F(FEx), g.F(FEy), g.F(FEz)
 	bx, by, bz := g.F(FBx), g.F(FBy), g.F(FBz)
 	nx, ny := float64(g.NX), float64(g.NY)
+	y0, nxi := float64(g.Y0), g.NX
 	for _, s := range ps.Species {
 		qmdt2 := s.Spec.QoverM * dt / 2
-		for i := range s.X {
-			x, y := s.X[i], s.Y[i]
-			eix := ps.interp(ex, x, y)
-			eiy := ps.interp(ey, x, y)
-			eiz := ps.interp(ez, x, y)
-			bix := ps.interp(bx, x, y)
-			biy := ps.interp(by, x, y)
-			biz := ps.interp(bz, x, y)
+		sX, sY := s.X, s.Y
+		sVX, sVY, sVZ := s.VX, s.VY, s.VZ
+		for i := range sX {
+			x, y := sX[i], sY[i]
+			st := makeStencil(x, y, y0, nxi)
+			eix := st.gather(ex)
+			eiy := st.gather(ey)
+			eiz := st.gather(ez)
+			bix := st.gather(bx)
+			biy := st.gather(by)
+			biz := st.gather(bz)
 			// Boris: half electric kick, magnetic rotation, half kick.
-			vx := s.VX[i] + qmdt2*eix
-			vy := s.VY[i] + qmdt2*eiy
-			vz := s.VZ[i] + qmdt2*eiz
+			vx := sVX[i] + qmdt2*eix
+			vy := sVY[i] + qmdt2*eiy
+			vz := sVZ[i] + qmdt2*eiz
 			tx, ty, tz := qmdt2*bix, qmdt2*biy, qmdt2*biz
 			t2 := tx*tx + ty*ty + tz*tz
 			sx, sy, sz := 2*tx/(1+t2), 2*ty/(1+t2), 2*tz/(1+t2)
@@ -196,18 +273,10 @@ func (ps *ParticleSolver) Move(p *psmpi.Proc) {
 			vx += qmdt2 * eix
 			vy += qmdt2 * eiy
 			vz += qmdt2 * eiz
-			s.VX[i], s.VY[i], s.VZ[i] = vx, vy, vz
-			// Position push with periodic wrap (Mod keeps the wrap O(1)
-			// even for pathological velocities).
-			x = math.Mod(x+vx*dt, nx)
-			if x < 0 {
-				x += nx
-			}
-			y = math.Mod(y+vy*dt, ny)
-			if y < 0 {
-				y += ny
-			}
-			s.X[i], s.Y[i] = x, y
+			sVX[i], sVY[i], sVZ[i] = vx, vy, vz
+			// Position push with periodic wrap.
+			sX[i] = wrapPeriodic(x+vx*dt, nx)
+			sY[i] = wrapPeriodic(y+vy*dt, ny)
 		}
 	}
 	p.Compute(machine.Work{Class: machine.KernelParticle,
@@ -222,18 +291,22 @@ func (ps *ParticleSolver) Gather(p *psmpi.Proc) {
 	g.Zero(MomentNames...)
 	rho, jx, jy, jz := g.F(FRho), g.F(FJx), g.F(FJy), g.F(FJz)
 	rhoe := g.F(FRhoE)
+	y0, nxi := float64(g.Y0), g.NX
 	var flops float64
 	for _, s := range ps.Species {
 		electron := s.Spec.QoverM < -0.5
-		for i := range s.X {
-			x, y := s.X[i], s.Y[i]
-			ps.deposit(rho, x, y, s.Q)
-			ps.deposit(jx, x, y, s.Q*s.VX[i])
-			ps.deposit(jy, x, y, s.Q*s.VY[i])
-			ps.deposit(jz, x, y, s.Q*s.VZ[i])
+		q := s.Q
+		sX, sY := s.X, s.Y
+		sVX, sVY, sVZ := s.VX, s.VY, s.VZ
+		for i := range sX {
+			st := makeStencil(sX[i], sY[i], y0, nxi)
+			st.scatter(rho, q)
+			st.scatter(jx, q*sVX[i])
+			st.scatter(jy, q*sVY[i])
+			st.scatter(jz, q*sVZ[i])
 			if electron {
 				// Electron density for the field solver's susceptibility.
-				ps.deposit(rhoe, x, y, -s.Q)
+				st.scatter(rhoe, -q)
 			}
 		}
 		perPart := flopsMoments
@@ -271,25 +344,27 @@ func (ps *ParticleSolver) Migrate(p *psmpi.Proc, comm *psmpi.Comm) {
 				kept++
 				continue
 			}
-			rec := []float64{float64(si), s.X[i], s.Y[i], s.VX[i], s.VY[i], s.VZ[i]}
 			// Decide direction in the periodic ring: the owner is above when
 			// y is in the up-neighbour's slab (wrapping at the top).
+			var dst *[]float64
 			if owner := int(y) / g.LY; owner == g.up() {
-				upBuf = append(upBuf, rec...)
+				dst = &upBuf
 			} else if owner == g.down() {
-				dnBuf = append(dnBuf, rec...)
+				dst = &dnBuf
 			} else if y >= float64(g.NY)-0.5 && g.down() == g.Ranks-1 {
-				dnBuf = append(dnBuf, rec...)
+				dst = &dnBuf
 			} else {
-				upBuf = append(upBuf, rec...)
+				dst = &upBuf
 			}
+			*dst = append(*dst, float64(si), s.X[i], s.Y[i], s.VX[i], s.VY[i], s.VZ[i])
 		}
 		s.X, s.Y = s.X[:kept], s.Y[:kept]
 		s.VX, s.VY, s.VZ = s.VX[:kept], s.VY[:kept], s.VZ[:kept]
 	}
-	// Exchange with both neighbours (counts travel with the payload).
-	reqUp := p.IsendF64(comm, g.up(), tagPartUp, upBuf)
-	reqDn := p.IsendF64(comm, g.down(), tagPartDown, dnBuf)
+	// Exchange with both neighbours (counts travel with the payload); the
+	// buffers are freshly built and never reused, so they ship uncopied.
+	reqUp := p.Isend(comm, g.up(), tagPartUp, upBuf, 8*len(upBuf))
+	reqDn := p.Isend(comm, g.down(), tagPartDown, dnBuf, 8*len(dnBuf))
 	fromDn, _ := p.Recv(comm, g.down(), tagPartUp)
 	ps.absorb(fromDn.([]float64))
 	fromUp, _ := p.Recv(comm, g.up(), tagPartDown)

@@ -109,10 +109,11 @@ func boosterMain(p *psmpi.Proc, cfg Config, s *sink, clusterBinary string) error
 			g.ReduceMomentHalos(p, comm)
 		})
 
-		// pcl.cpyToArr_M(); BoosterToCluster(): Issend ρ,J (Listing 4).
+		// pcl.cpyToArr_M(); BoosterToCluster(): Issend ρ,J (Listing 4). The
+		// packed buffer is fresh, so it ships without a value-semantics copy.
 		phase(p, &t.Exchange, func() {
 			mbuf := packFields(p, g, MomentNames)
-			req := p.IssendF64(inter, peer, tagIfaceM, mbuf)
+			req := p.Issend(inter, peer, tagIfaceM, mbuf, 8*len(mbuf))
 			// I/O and auxiliary computations overlap; BoosterWait().
 			p.Wait(req)
 		})
@@ -155,7 +156,7 @@ func clusterMain(p *psmpi.Proc, cfg Config, s *sink) error {
 		auxBefore := t.Aux
 		phase(p, &t.Exchange, func() {
 			fbuf := packFields(p, g, FieldNames)
-			req := p.IssendF64(inter, peer, tagIfaceF, fbuf)
+			req := p.Issend(inter, peer, tagIfaceF, fbuf, 8*len(fbuf))
 			if cfg.NoOverlap {
 				p.Wait(req)
 			}

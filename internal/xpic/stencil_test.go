@@ -1,0 +1,74 @@
+package xpic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStencilMatchesReference pins the hot-path stencil (makeStencil +
+// gather/scatter, the inlined form Move and Gather run) to the reference
+// interp/deposit implementations, bit for bit, over random positions —
+// including the x == NX wrap boundary and row edges.
+func TestStencilMatchesReference(t *testing.T) {
+	g := NewGrid(8, 16, 0, 1)
+	ps := &ParticleSolver{g: g, cfg: QuickConfig(1)}
+	rng := rand.New(rand.NewSource(99))
+	a := make([]float64, 8*(16+2))
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	b := append([]float64(nil), a...)
+
+	xs := []float64{0, 0.5, 7.999999, 8} // 8 == NX: the wrap-boundary edge
+	ys := []float64{0, 0.25, 15.5, 15.999}
+	for k := 0; k < 500; k++ {
+		x := rng.Float64() * 8
+		y := rng.Float64() * 16
+		if k < len(xs) {
+			x = xs[k]
+		}
+		if k < len(ys) {
+			y = ys[k]
+		}
+		st := makeStencil(x, y, float64(g.Y0), g.NX)
+		if got, want := st.gather(a), ps.interp(a, x, y); got != want || math.IsNaN(got) {
+			t.Fatalf("gather(%v,%v) = %v, interp = %v", x, y, got, want)
+		}
+		w := rng.NormFloat64()
+		st.scatter(a, w)
+		ps.deposit(b, x, y, w)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("scatter(%v,%v,%v) diverged from deposit at cell %d: %v != %v", x, y, w, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestWrapPeriodicMatchesMod pins wrapPeriodic to the reference
+// `Mod(x, l); if x < 0 { x += l }` form, bit for bit, across single- and
+// multi-period excursions and exact boundaries.
+func TestWrapPeriodicMatchesMod(t *testing.T) {
+	ref := func(x, l float64) float64 {
+		x = math.Mod(x, l)
+		if x < 0 {
+			x += l
+		}
+		return x
+	}
+	const l = 64.0
+	cases := []float64{0, 0.5, l - 1e-12, l, l + 0.25, 2 * l, 2*l + 3, 17 * l,
+		-1e-12, -0.5, -l, -l - 0.25, -5*l - 3}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64() * 3 * l
+		if i < len(cases) {
+			x = cases[i]
+		}
+		got, want := wrapPeriodic(x, l), ref(x, l)
+		if got != want && !(got == 0 && want == 0) { // ±0.0 compare equal
+			t.Fatalf("wrapPeriodic(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
