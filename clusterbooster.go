@@ -39,6 +39,7 @@ import (
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/msa"
+	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/xpic"
 )
 
@@ -104,6 +105,19 @@ var (
 	// RenderFig8 renders the result.
 	RenderFig8 = bench.RenderFig8
 )
+
+// ResilienceParams describes a checkpoint/restart scenario under live
+// node-failure injection (§III-D on the event kernel).
+type ResilienceParams = resilience.Params
+
+// ResilienceOutcome summarises a completed resilience scenario: the final
+// report plus the failure/restart accounting.
+type ResilienceOutcome = resilience.Outcome
+
+// RunResilience executes a resilience scenario to completion: the job
+// checkpoints through the SCR stack, seeded failures tear it down as kernel
+// events, and each failure rewinds to the best surviving checkpoint level.
+func RunResilience(p ResilienceParams) (ResilienceOutcome, error) { return resilience.Run(p) }
 
 // Experiment is one registered entry of the experiment catalog.
 type Experiment = exp.Experiment

@@ -29,8 +29,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"clusterbooster/internal/engine"
@@ -38,35 +40,40 @@ import (
 )
 
 func main() {
-	flag.Usage = usage
+	flag.Usage = func() { usage(os.Stderr) }
 	flag.Parse()
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
-	}
-	verb, args := flag.Arg(0), flag.Args()[1:]
-	var code int
-	switch verb {
-	case "list":
-		code = runList(args)
-	case "run":
-		code = runRun(args)
-	case "diff":
-		code = runDiff(args)
-	case "bless":
-		code = runBless(args)
-	case "help", "-h", "-help", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "cbctl: unknown verb %q\n", verb)
-		usage()
-		code = 2
-	}
-	os.Exit(code)
+	os.Exit(dispatch(flag.Args(), os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+// dispatch routes a verb invocation; the writers make every verb — output,
+// exit code and all — table-testable without touching the process streams.
+func dispatch(args []string, out, errw io.Writer) int {
+	if len(args) < 1 {
+		usage(errw)
+		return 2
+	}
+	verb, args := args[0], args[1:]
+	switch verb {
+	case "list":
+		return runList(args, out, errw)
+	case "run":
+		return runRun(args, out, errw)
+	case "diff":
+		return runDiff(args, out, errw)
+	case "bless":
+		return runBless(args, out, errw)
+	case "help", "-h", "-help", "--help":
+		usage(errw)
+		return 0
+	default:
+		fmt.Fprintf(errw, "cbctl: unknown verb %q\n", verb)
+		usage(errw)
+		return 2
+	}
+}
+
+func usage(errw io.Writer) {
+	fmt.Fprintf(errw, `usage:
   cbctl list [-v]
   cbctl run   [-workers N] [-v] [-text] [-stats] -all | <experiment> ...
   cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
@@ -90,8 +97,23 @@ type verbFlags struct {
 	stats     *bool
 }
 
-func newFlags(verb string, withTolerance, withRoot, withText bool) verbFlags {
-	fs := flag.NewFlagSet("cbctl "+verb, flag.ExitOnError)
+// parse runs the flag set; ok=false stops the verb with the given exit
+// code — 0 for an explicit -h/--help (matching flag.ExitOnError's exit
+// status), 2 for a genuine usage error.
+func (v verbFlags) parse(args []string) (code int, ok bool) {
+	switch err := v.fs.Parse(args); {
+	case err == nil:
+		return 0, true
+	case errors.Is(err, flag.ErrHelp):
+		return 0, false
+	default:
+		return 2, false
+	}
+}
+
+func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText bool) verbFlags {
+	fs := flag.NewFlagSet("cbctl "+verb, flag.ContinueOnError)
+	fs.SetOutput(errw)
 	v := verbFlags{
 		fs:      fs,
 		all:     fs.Bool("all", false, "select every registered experiment"),
@@ -113,9 +135,9 @@ func newFlags(verb string, withTolerance, withRoot, withText bool) verbFlags {
 
 // reportStats prints the aggregated execution-kernel counters to stderr when
 // the verb's -stats flag is set.
-func (v verbFlags) reportStats() {
+func (v verbFlags) reportStats(errw io.Writer) {
 	if v.stats != nil && *v.stats {
-		fmt.Fprintf(os.Stderr, "cbctl: kernel %s\n", engine.Global())
+		fmt.Fprintf(errw, "cbctl: kernel %s\n", engine.Global())
 	}
 }
 
@@ -133,10 +155,10 @@ func (v verbFlags) selectExps() ([]exp.Experiment, error) {
 	return exp.Resolve(v.fs.Args())
 }
 
-func (v verbFlags) options() exp.Options {
+func (v verbFlags) options(errw io.Writer) exp.Options {
 	o := exp.Options{Workers: *v.workers}
 	if *v.verbose {
-		o.Observer = exp.ProgressObserver(os.Stderr, "cbctl")
+		o.Observer = exp.ProgressObserver(errw, "cbctl")
 	}
 	return o
 }
@@ -150,11 +172,13 @@ func (v verbFlags) moduleRoot() string {
 	return exp.FindModuleRoot(".")
 }
 
-func runList(args []string) int {
-	v := newFlags("list", false, true, false)
-	v.fs.Parse(args)
+func runList(args []string, out, errw io.Writer) int {
+	v := newFlags("list", errw, false, true, false)
+	if code, ok := v.parse(args); !ok {
+		return code
+	}
 	if *v.all || v.fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "cbctl: list takes no experiment arguments")
+		fmt.Fprintln(errw, "cbctl: list takes no experiment arguments")
 		return 2
 	}
 	root := v.moduleRoot()
@@ -163,154 +187,160 @@ func runList(args []string) int {
 		nameW = max(nameW, len(e.Name))
 		gridW = max(gridW, len(e.Grid))
 	}
-	fmt.Printf("%-*s  %3s  %-8s  %-6s  %7s  %s\n", nameW, "EXPERIMENT", "VER", "PROFILE", "GOLDEN", "BUDGETS", "TITLE")
+	fmt.Fprintf(out, "%-*s  %3s  %-8s  %-6s  %7s  %s\n", nameW, "EXPERIMENT", "VER", "PROFILE", "GOLDEN", "BUDGETS", "TITLE")
 	for _, e := range exp.All() {
 		golden := "yes"
 		if !exp.HasGolden(e.Name, root) {
 			golden = "NO"
 		}
-		fmt.Printf("%-*s  %3d  %-8s  %-6s  %7d  %s\n",
+		fmt.Fprintf(out, "%-*s  %3d  %-8s  %-6s  %7d  %s\n",
 			nameW, e.Name, e.Version, e.Profile, golden, len(e.Budgets), e.Title)
 		if *v.verbose {
-			fmt.Printf("%-*s       grid: %s\n", nameW, "", e.Grid)
+			fmt.Fprintf(out, "%-*s       grid: %s\n", nameW, "", e.Grid)
 			for _, b := range e.Budgets {
-				fmt.Printf("%-*s       budget: %s %s %g\n", nameW, "", b.Measure, b.Kind, b.Bound)
+				fmt.Fprintf(out, "%-*s       budget: %s %s %g\n", nameW, "", b.Measure, b.Kind, b.Bound)
 			}
 		}
 	}
 	return 0
 }
 
-func runRun(args []string) int {
-	v := newFlags("run", false, false, true)
-	v.fs.Parse(args)
+func runRun(args []string, out, errw io.Writer) int {
+	v := newFlags("run", errw, false, false, true)
+	if code, ok := v.parse(args); !ok {
+		return code
+	}
 	exps, err := v.selectExps()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
 		return 2
 	}
-	opts := v.options()
+	opts := v.options(errw)
 	for _, e := range exps {
 		doc, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cbctl: run %s: %v\n", e.Name, err)
+			fmt.Fprintf(errw, "cbctl: run %s: %v\n", e.Name, err)
 			return 1
 		}
 		if *v.text && e.Render != nil {
 			text, err := e.Render(doc)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cbctl: render %s: %v\n", e.Name, err)
+				fmt.Fprintf(errw, "cbctl: render %s: %v\n", e.Name, err)
 				return 1
 			}
-			fmt.Println(text)
+			fmt.Fprintln(out, text)
 			continue
 		}
 		b, err := doc.Canonical()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
 			return 1
 		}
-		os.Stdout.Write(b)
+		out.Write(b)
 	}
-	v.reportStats()
+	v.reportStats(errw)
 	return 0
 }
 
-func runDiff(args []string) int {
-	v := newFlags("diff", true, true, false)
-	v.fs.Parse(args)
+func runDiff(args []string, out, errw io.Writer) int {
+	v := newFlags("diff", errw, true, true, false)
+	if code, ok := v.parse(args); !ok {
+		return code
+	}
 	exps, err := v.selectExps()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
 		return 2
 	}
-	opts := v.options()
+	opts := v.options(errw)
 	root := v.moduleRoot()
 	failed := 0
 	for _, e := range exps {
 		golden, source, err := exp.Golden(e.Name, root)
 		if err != nil {
-			fmt.Printf("FAIL %-12s missing golden (%s) — bless it first\n", e.Name, exp.GoldenPath(e.Name))
+			fmt.Fprintf(out, "FAIL %-12s missing golden (%s) — bless it first\n", e.Name, exp.GoldenPath(e.Name))
 			failed++
 			continue
 		}
 		doc, err := e.Run(opts)
 		if err != nil {
-			fmt.Printf("FAIL %-12s run error: %v\n", e.Name, err)
+			fmt.Fprintf(out, "FAIL %-12s run error: %v\n", e.Name, err)
 			failed++
 			continue
 		}
 		fresh, err := doc.Canonical()
 		if err != nil {
-			fmt.Printf("FAIL %-12s %v\n", e.Name, err)
+			fmt.Fprintf(out, "FAIL %-12s %v\n", e.Name, err)
 			failed++
 			continue
 		}
 		rep, err := exp.Diff(e, golden, fresh, v.tolerance != nil && *v.tolerance)
 		if err != nil {
-			fmt.Printf("FAIL %-12s %v\n", e.Name, err)
+			fmt.Fprintf(out, "FAIL %-12s %v\n", e.Name, err)
 			failed++
 			continue
 		}
 		switch {
 		case rep.Clean() && rep.Status == exp.Identical:
-			fmt.Printf("ok   %-12s identical to golden (%s)\n", e.Name, source)
+			fmt.Fprintf(out, "ok   %-12s identical to golden (%s)\n", e.Name, source)
 		case rep.Clean():
-			fmt.Printf("ok   %-12s within tolerance (%d numeric deltas absorbed)\n", e.Name, len(rep.Tolerated))
+			fmt.Fprintf(out, "ok   %-12s within tolerance (%d numeric deltas absorbed)\n", e.Name, len(rep.Tolerated))
 		default:
-			fmt.Printf("FAIL %-12s %s: %d drifts, %d budget violations\n",
+			fmt.Fprintf(out, "FAIL %-12s %s: %d drifts, %d budget violations\n",
 				e.Name, rep.Status, len(rep.Drifts), len(rep.Violations))
-			fmt.Print(rep.Summary(8))
+			fmt.Fprint(out, rep.Summary(8))
 			failed++
 		}
 	}
 	if failed > 0 {
-		fmt.Printf("\ncbctl diff: %d of %d experiments failed\n", failed, len(exps))
-		fmt.Println("If the change is intentional, re-record with: cbctl bless -all")
+		fmt.Fprintf(out, "\ncbctl diff: %d of %d experiments failed\n", failed, len(exps))
+		fmt.Fprintln(out, "If the change is intentional, re-record with: cbctl bless -all")
 		return 1
 	}
 	return 0
 }
 
-func runBless(args []string) int {
-	v := newFlags("bless", false, true, false)
-	v.fs.Parse(args)
+func runBless(args []string, out, errw io.Writer) int {
+	v := newFlags("bless", errw, false, true, false)
+	if code, ok := v.parse(args); !ok {
+		return code
+	}
 	exps, err := v.selectExps()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
 		return 2
 	}
 	root := v.moduleRoot()
 	if root == "" {
-		fmt.Fprintln(os.Stderr, "cbctl: bless needs the source tree; run from inside the module or pass -C <root>")
+		fmt.Fprintln(errw, "cbctl: bless needs the source tree; run from inside the module or pass -C <root>")
 		return 2
 	}
-	opts := v.options()
+	opts := v.options(errw)
 	warned := false
 	for _, e := range exps {
 		doc, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cbctl: bless %s: %v\n", e.Name, err)
+			fmt.Fprintf(errw, "cbctl: bless %s: %v\n", e.Name, err)
 			return 1
 		}
 		b, err := doc.Canonical()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
 			return 1
 		}
 		for _, viol := range e.CheckBudgets(doc) {
-			fmt.Fprintf(os.Stderr, "cbctl: warning: %s: %s (blessed anyway; revise the budget if intentional)\n", e.Name, viol)
+			fmt.Fprintf(errw, "cbctl: warning: %s: %s (blessed anyway; revise the budget if intentional)\n", e.Name, viol)
 			warned = true
 		}
 		p, err := exp.WriteGolden(root, e.Name, b)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cbctl: %v\n", err)
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
 			return 1
 		}
-		fmt.Printf("blessed %-12s -> %s\n", e.Name, p)
+		fmt.Fprintf(out, "blessed %-12s -> %s\n", e.Name, p)
 	}
 	if warned {
-		fmt.Fprintln(os.Stderr, "cbctl: note: budget violations persist until the declared bounds are revised in internal/exp")
+		fmt.Fprintln(errw, "cbctl: note: budget violations persist until the declared bounds are revised in internal/exp")
 	}
 	return 0
 }

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	deepsim [flags] table1|table2|fig3|fig7|fig8|all
+//	deepsim [flags] table1|table2|fig3|fig7|fig8|fig-resilience|all
 //	deepsim -sweep [flags]
+//	deepsim -resilience [flags]
 //
 // Flags:
 //
@@ -25,6 +26,23 @@
 //	-stats     print execution-kernel runtime stats (events processed,
 //	           events/sec wall-clock, peak parked ranks) to stderr
 //
+// Resilience flags (§III-D live fault injection; use with -resilience):
+//
+//	-resilience        run one checkpoint/restart scenario under failure
+//	                   injection and report the outcome
+//	-mtbf S            per-node mean time between failures in *virtual*
+//	                   seconds (0 = no failures); CI-scale workloads run
+//	                   virtual milliseconds, so think 0.03, not hours
+//	-failures N        stop injecting after N failures (default 1)
+//	-ckpt N            checkpoint every N completed steps (default 4)
+//	-level L           surviving checkpoint level cadence: local, buddy or
+//	                   global (default buddy; global needs a mono mode)
+//	-mode M            execution mode: cluster, booster or split (default
+//	                   booster)
+//	-nodes N           ranks per solver (default 2)
+//	-seed S            failure-sequence seed (default 1)
+//	-restart-overhead S  fixed relaunch cost per restart in virtual seconds
+//
 // The figure targets print the measured series next to the paper's reference
 // values; EXPERIMENTS.md records a full run and documents the registry. The
 // output is deterministic: the same target always produces byte-identical
@@ -32,6 +50,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +59,9 @@ import (
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
+	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sweep"
+	"clusterbooster/internal/vclock"
 	"clusterbooster/internal/xpic"
 )
 
@@ -50,6 +71,15 @@ func main() {
 	scale := flag.Int("scale", 0, "override particle fidelity divisor")
 	doSweep := flag.Bool("sweep", false, "run the paper's evaluation grid through the sweep engine")
 	withSCR := flag.Bool("scr", false, "add the SCR checkpoint-level axis to the sweep")
+	doResilience := flag.Bool("resilience", false, "run a checkpoint/restart scenario under failure injection")
+	mtbf := flag.Float64("mtbf", 0, "per-node MTBF in virtual seconds (0 = no failures)")
+	maxFailures := flag.Int("failures", 1, "stop injecting after N failures")
+	ckptEvery := flag.Int("ckpt", 4, "checkpoint every N completed steps (0 = never)")
+	level := flag.String("level", "buddy", "surviving checkpoint level cadence: local, buddy or global")
+	modeName := flag.String("mode", "booster", "execution mode: cluster, booster or split")
+	nodes := flag.Int("nodes", 2, "ranks per solver")
+	seed := flag.Int64("seed", 1, "failure-sequence seed")
+	restartOverhead := flag.Float64("restart-overhead", 0.002, "fixed relaunch cost per restart, virtual seconds")
 	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
 	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
@@ -58,6 +88,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] %s|all\n", strings.Join(artifactNames(), "|"))
 		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
+		fmt.Fprintf(os.Stderr, "       deepsim -resilience [-mtbf S] [-failures N] [-ckpt N] [-level L] [-mode M] [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,11 +111,25 @@ func main() {
 	}
 
 	if *doSweep {
-		if flag.NArg() != 0 {
+		if flag.NArg() != 0 || *doResilience {
 			flag.Usage()
 			os.Exit(2)
 		}
 		code := runSweep(cfg, *withSCR, opts, *asJSON, *asCSV)
+		reportStats(*stats)
+		os.Exit(code)
+	}
+
+	if *doResilience {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		code := runResilience(resilienceFlags{
+			cfg: cfg, mode: *modeName, level: *level, nodes: *nodes,
+			ckptEvery: *ckptEvery, mtbf: *mtbf, failures: *maxFailures,
+			seed: *seed, restartOverhead: *restartOverhead,
+		}, *asJSON)
 		reportStats(*stats)
 		os.Exit(code)
 	}
@@ -155,6 +200,80 @@ func artifactNames() []string {
 		}
 	}
 	return out
+}
+
+// resilienceFlags bundles the -resilience invocation.
+type resilienceFlags struct {
+	cfg             xpic.Config
+	mode            string
+	level           string
+	nodes           int
+	ckptEvery       int
+	mtbf            float64
+	failures        int
+	seed            int64
+	restartOverhead float64
+}
+
+// runResilience executes one checkpoint/restart scenario under failure
+// injection and reports the outcome.
+func runResilience(f resilienceFlags, asJSON bool) int {
+	params := resilience.Params{
+		Nodes:           f.nodes,
+		Workload:        f.cfg,
+		CheckpointEvery: f.ckptEvery,
+		MTBF:            vclock.Time(f.mtbf),
+		Seed:            f.seed,
+		MaxFailures:     f.failures,
+		RestartOverhead: vclock.Time(f.restartOverhead),
+	}
+	switch f.mode {
+	case "cluster":
+		params.Mode = xpic.ClusterOnly
+	case "booster":
+		params.Mode = xpic.BoosterOnly
+	case "split":
+		params.Mode = xpic.SplitCB
+	default:
+		fmt.Fprintf(os.Stderr, "deepsim: unknown mode %q (cluster, booster, split)\n", f.mode)
+		return 2
+	}
+	switch f.level {
+	case "local":
+	case "buddy":
+		params.SCR.BuddyEvery = 1
+	case "global":
+		params.SCR.GlobalEvery = 1
+	default:
+		fmt.Fprintf(os.Stderr, "deepsim: unknown level %q (local, buddy, global)\n", f.level)
+		return 2
+	}
+	out, err := resilience.Run(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: resilience: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("resilience %s/%s: %s\n", f.mode, f.level, out.Report)
+	fmt.Printf("  failures=%d checkpoints=%d (cost %v) lost_work=%v restore=%v overhead=%v\n",
+		out.Failures, out.Checkpoints, out.CheckpointTime, out.LostWork, out.RestoreTime, out.RestartOverheadTotal)
+	for i, r := range out.Restarts {
+		kind := fmt.Sprintf("rewind to step %d via %v", r.FromStep, r.Levels)
+		if r.Cold {
+			kind = "cold restart from step 0"
+		}
+		fmt.Printf("  restart %d: %s failed at %v — %s (lost %v)\n",
+			i+1, r.FailedNode, r.At, kind, r.LostWork)
+	}
+	return 0
 }
 
 // runSweep expands the paper grid and executes it on the worker pool.

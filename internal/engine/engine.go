@@ -25,6 +25,15 @@
 // A blocked task with no pending event to wake it would previously hang the
 // process; the kernel detects this (empty event queue with live blocked
 // tasks) and fails every blocked task with a deadlock error instead.
+//
+// Beyond task wakeups, the queue carries callback events (CallAt): a function
+// scheduled at a virtual time, executed while holding the baton between task
+// switches. Fault injection is built on them — a failure event fires as a
+// callback, calls Fail on the affected tasks, and the kernel tears each one
+// down with a TaskFailure panic at its next scheduling point (parked tasks
+// are woken at the failure instant just to die). Because teardown goes
+// through the ordinary event machinery, a job aborted by a failure drains
+// cleanly instead of tripping the deadlock detector.
 package engine
 
 import (
@@ -64,13 +73,31 @@ func New() *Engine {
 
 // Task is one simulated execution context bound to an Engine.
 type Task struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	state  int
-	bIdx   int  // index in eng.blocked while stateBlocked
-	poison bool // woken only to fail with a deadlock error
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	state   int
+	bIdx    int   // index in eng.blocked while stateBlocked
+	poison  bool  // woken only to fail with a deadlock error
+	failure error // set by Fail: the task dies at its next scheduling point
 }
+
+// TaskFailure is the panic value a task dies with after Fail: the kernel
+// raises it at the task's next scheduling point. Job runners recover it and
+// record Reason as the task's error.
+type TaskFailure struct {
+	Task   string
+	Reason error
+}
+
+// Error renders the failure; TaskFailure is an error so recovered panics can
+// travel through error-wrapping paths unchanged.
+func (f *TaskFailure) Error() string {
+	return fmt.Sprintf("task %q torn down: %v", f.Task, f.Reason)
+}
+
+// Unwrap exposes the teardown reason to errors.Is/As.
+func (f *TaskFailure) Unwrap() error { return f.Reason }
 
 // NewTask registers a task. Call StartAt to schedule its first run; the
 // task's goroutine must call WaitStart before touching any simulation state
@@ -124,30 +151,68 @@ func (t *Task) WakeAt(at vclock.Time) {
 	t.eng.queue.Push(at, t)
 }
 
+// CallAt schedules fn to run at virtual time at, holding the baton: no task
+// executes while a callback runs, so fn may touch any kernel or model state
+// (schedule events, wake or fail tasks). Callbacks scheduled for the same
+// instant as task wakeups fire in schedule order, like any event. A callback
+// still pending when the last task exits never runs.
+func (e *Engine) CallAt(at vclock.Time, fn func()) {
+	if fn == nil {
+		panic("engine: CallAt with nil callback")
+	}
+	e.queue.Push(at, fn)
+}
+
+// Fail marks the task for teardown with the given reason: at its next
+// scheduling point the kernel panics it with a *TaskFailure carrying reason.
+// A parked task is woken at virtual time at just to die; ready or running
+// tasks die when their next event fires or they next touch the kernel. The
+// first reason wins; failing a finished task is a no-op.
+func (t *Task) Fail(at vclock.Time, reason error) {
+	if t.state == stateDone || t.failure != nil {
+		return
+	}
+	t.failure = reason
+	if t.state == stateBlocked {
+		t.eng.unblock(t)
+		t.state = stateReady
+		t.eng.queue.Push(at, t)
+	}
+}
+
 // SleepUntil schedules the task's own wakeup at virtual time at and yields.
 // If the task's event is itself the earliest pending one, it keeps the baton
 // and returns immediately — a timer that fires "next" costs two queue
-// operations and no goroutine switch.
+// operations and no goroutine switch. Callback events due before the wakeup
+// run inline, in order, on the way.
 func (t *Task) SleepUntil(at vclock.Time) {
 	e := t.eng
 	e.queue.Push(at, t)
-	next, ok := e.queue.Pop()
-	if !ok {
-		panic("engine: event queue empty after push")
+	for {
+		next, ok := e.queue.Pop()
+		if !ok {
+			panic("engine: event queue empty after push")
+		}
+		e.stats.Events++
+		nt, isTask := next.Payload.(*Task)
+		if !isTask {
+			next.Payload.(func())()
+			continue
+		}
+		if nt == t {
+			t.checkPoison()
+			return // still the earliest: keep running
+		}
+		t.state = stateReady
+		e.stats.Parks++
+		e.stats.Switches++
+		e.notePeak()
+		nt.state = stateRunning
+		nt.resume <- struct{}{}
+		<-t.resume
+		t.checkPoison()
+		return
 	}
-	e.stats.Events++
-	nt := next.Payload.(*Task)
-	if nt == t {
-		return // still the earliest: keep running
-	}
-	t.state = stateReady
-	e.stats.Parks++
-	e.stats.Switches++
-	e.notePeak()
-	nt.state = stateRunning
-	nt.resume <- struct{}{}
-	<-t.resume
-	t.checkPoison()
 }
 
 // Exit retires the task: the baton passes to the next event, and the kernel
@@ -181,16 +246,23 @@ func (e *Engine) Run() {
 	publishGlobal(e.stats)
 }
 
-// dispatch hands the baton to the earliest pending event, or — when no event
-// is pending — declares a deadlock and fails the blocked tasks one by one.
+// dispatch hands the baton to the earliest pending event (running callback
+// events inline on the way), or — when no event is pending — declares a
+// deadlock and fails the blocked tasks one by one.
 func (e *Engine) dispatch() {
-	if next, ok := e.queue.Pop(); ok {
+	for {
+		next, ok := e.queue.Pop()
+		if !ok {
+			break
+		}
 		e.stats.Events++
-		e.stats.Switches++
-		t := next.Payload.(*Task)
-		t.state = stateRunning
-		t.resume <- struct{}{}
-		return
+		if t, isTask := next.Payload.(*Task); isTask {
+			e.stats.Switches++
+			t.state = stateRunning
+			t.resume <- struct{}{}
+			return
+		}
+		next.Payload.(func())()
 	}
 	// No pending event, yet live tasks remain: every one of them is blocked.
 	// Fail them sequentially; each poisoned task panics out of Park, its job
@@ -215,9 +287,15 @@ func (e *Engine) unblock(t *Task) {
 	e.blocked = e.blocked[:last]
 }
 
-// checkPoison fails a task that was woken only because the kernel deadlocked.
+// checkPoison tears down a task that was resumed only to die: a Fail victim
+// panics with its *TaskFailure, a task woken by the deadlock detector with a
+// deadlock report. Failure wins over deadlock poison — the failure is the
+// cause, the starved queue its symptom.
 func (t *Task) checkPoison() {
 	t.state = stateRunning
+	if t.failure != nil {
+		panic(&TaskFailure{Task: t.name, Reason: t.failure})
+	}
 	if t.poison {
 		panic(fmt.Sprintf("engine: deadlock: task %q blocked with no pending events (%d tasks affected)",
 			t.name, len(t.eng.blocked)+1))

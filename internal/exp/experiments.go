@@ -171,6 +171,7 @@ func init() {
 	registerFig7()
 	registerFig8()
 	registerFig8Scale()
+	registerFigResilience()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()

@@ -244,6 +244,12 @@ type LaunchSpec struct {
 	Args any
 	// StartTime is the virtual time at which the ranks boot (default 0).
 	StartTime vclock.Time
+	// Failures, if set, arms deterministic node-failure injection for this
+	// launch: the injector schedules a failure event into the job's kernel,
+	// and when it fires the whole job tree is torn down with a NodeFailure
+	// error (recover it with FailureOf). The injector keeps its RNG state
+	// across launches, so a restart loop sees a continuing failure sequence.
+	Failures *FailureInjector
 }
 
 // Result summarises a completed job tree.
@@ -283,6 +289,7 @@ func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 	l := &launch{eng: engine.New()}
 	world := rt.newWorld(l, spec.Nodes, spec.Args, spec.StartTime, nil)
 	rt.startJob(l, world, spec.Main)
+	spec.Failures.arm(l, spec.StartTime)
 	l.eng.Run()
 	l.wg.Wait()
 
@@ -336,6 +343,12 @@ func (rt *Runtime) startJob(l *launch, world *Comm, main MainFunc) {
 			defer p.task.Exit()
 			defer func() {
 				if r := recover(); r != nil {
+					// A kernel teardown (failure injection) carries its cause;
+					// everything else is a genuine rank panic.
+					if tf, ok := r.(*engine.TaskFailure); ok {
+						l.record(p, tf.Reason)
+						return
+					}
 					l.record(p, fmt.Errorf("panic: %v", r))
 				}
 			}()

@@ -1,0 +1,279 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/scr"
+	"clusterbooster/internal/vclock"
+	"clusterbooster/internal/xpic"
+)
+
+// baseParams is the shared scenario of these tests: a 2-rank quick workload
+// checkpointing every 3 steps with a buddy copy on every checkpoint. Seeds
+// and MTBFs below are pinned against it: the simulation is deterministic, so
+// each seed's failure instant — and hence cold/warm and level selection —
+// is a fixed, asserted fact.
+func baseParams() Params {
+	return Params{
+		Mode:            xpic.ClusterOnly,
+		Nodes:           2,
+		Workload:        xpic.QuickConfig(12),
+		CheckpointEvery: 3,
+		SCR:             scr.Config{BuddyEvery: 1},
+		RestartOverhead: 50 * vclock.Millisecond,
+	}
+}
+
+// run executes params and fails the test on error.
+func run(t *testing.T, p Params) Outcome {
+	t.Helper()
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// relClose compares virtual times within a relative tolerance.
+func relClose(a, b vclock.Time, tol float64) bool {
+	if a == b {
+		return true
+	}
+	ref := math.Max(math.Abs(a.Seconds()), math.Abs(b.Seconds()))
+	return math.Abs((a - b).Seconds()) <= tol*ref
+}
+
+// TestFailureFreeBaseline checks a no-injection run completes with the
+// checkpoint cadence applied and nothing else.
+func TestFailureFreeBaseline(t *testing.T) {
+	out := run(t, baseParams())
+	if out.Failures != 0 || len(out.Restarts) != 0 {
+		t.Fatalf("failure-free run recorded failures: %+v", out)
+	}
+	if out.Checkpoints != 3 { // steps 3, 6, 9 (the final step is not checkpointed)
+		t.Fatalf("checkpoints = %d, want 3", out.Checkpoints)
+	}
+	if out.CheckpointTime <= 0 {
+		t.Fatal("checkpointing cost no virtual time")
+	}
+	if out.LostWork != 0 || out.RestoreTime != 0 {
+		t.Fatalf("failure-free run lost work: %+v", out)
+	}
+}
+
+// TestWarmRestartAccounting is the §III-D acceptance test: a seeded mid-run
+// failure increases the makespan by exactly lost work + restart cost
+// (restart overhead + restore I/O), up to the µs-scale checkpoint-barrier
+// synchronisation the replay does not repeat; the rewind target and per-rank
+// levels follow scr's best-surviving-level rules; and the physics is
+// bit-identical to the failure-free run.
+func TestWarmRestartAccounting(t *testing.T) {
+	clean := run(t, baseParams())
+
+	p := baseParams()
+	p.MTBF = 60 * vclock.Millisecond
+	p.Seed = 11 // pinned: fails mid-run, after the step-6 checkpoint
+	p.MaxFailures = 1
+	out := run(t, p)
+
+	if out.Failures != 1 || len(out.Restarts) != 1 {
+		t.Fatalf("failures = %d, want exactly 1 (%+v)", out.Failures, out.Restarts)
+	}
+	r := out.Restarts[0]
+	if r.Cold {
+		t.Fatalf("seed 11 must warm-restart, got cold (%+v)", r)
+	}
+	if r.FromStep != 6 {
+		t.Fatalf("rewound to step %d, want 6 (latest durable checkpoint before %v)", r.FromStep, r.At)
+	}
+	// Level selection per scr's rules: the failed node's rank lost its local
+	// NVMe and restores from its buddy copy; the surviving rank restores
+	// locally. (The buddy ring maps rank 1's copy onto rank 0's node.)
+	if r.FailedNode != "cn01" {
+		t.Fatalf("failed node %s, want cn01 for seed 11", r.FailedNode)
+	}
+	if len(r.Levels) != 2 || r.Levels[0] != "local" || r.Levels[1] != "buddy" {
+		t.Fatalf("restart levels %v, want [local buddy]", r.Levels)
+	}
+	if r.LostWork <= 0 || r.RestoreTime <= 0 {
+		t.Fatalf("warm restart with lost=%v restore=%v", r.LostWork, r.RestoreTime)
+	}
+
+	// The makespan grew by exactly the failure's cost.
+	delta := out.Report.Makespan - clean.Report.Makespan
+	sum := out.LostWork + out.RestoreTime + out.RestartOverheadTotal
+	if delta <= 0 {
+		t.Fatalf("failure did not increase the makespan (delta %v)", delta)
+	}
+	if !relClose(delta, sum, 1e-3) {
+		t.Fatalf("makespan delta %v != lost+restore+overhead %v", delta, sum)
+	}
+	// Restart correctness: identical physics.
+	if out.Report.Checksum != clean.Report.Checksum ||
+		out.Report.KineticEnergy != clean.Report.KineticEnergy {
+		t.Fatalf("restart changed the physics:\n clean %+v\n fail  %+v", clean.Report, out.Report)
+	}
+}
+
+// TestColdRestartAccounting pins a failure before the first checkpoint: no
+// level survives for the failed node, the job restarts from step 0, and the
+// whole prefix is lost work.
+func TestColdRestartAccounting(t *testing.T) {
+	clean := run(t, baseParams())
+
+	p := baseParams()
+	p.MTBF = 60 * vclock.Millisecond
+	p.Seed = 9 // pinned: fails before the first checkpoint completes
+	p.MaxFailures = 1
+	out := run(t, p)
+
+	if out.Failures != 1 || len(out.Restarts) != 1 {
+		t.Fatalf("failures = %d, want 1", out.Failures)
+	}
+	r := out.Restarts[0]
+	if !r.Cold || r.FromStep != 0 || len(r.Levels) != 0 {
+		t.Fatalf("want cold restart from 0, got %+v", r)
+	}
+	if r.LostWork != r.At {
+		t.Fatalf("cold restart lost %v, want the whole prefix %v", r.LostWork, r.At)
+	}
+	delta := out.Report.Makespan - clean.Report.Makespan
+	sum := out.LostWork + out.RestoreTime + out.RestartOverheadTotal
+	if !relClose(delta, sum, 1e-3) {
+		t.Fatalf("makespan delta %v != lost+restore+overhead %v", delta, sum)
+	}
+	if out.Report.Checksum != clean.Report.Checksum {
+		t.Fatal("cold restart changed the physics")
+	}
+}
+
+// TestGlobalLevelSealing checks that a global checkpoint only counts once
+// its SION container is sealed: seed 4's failure rewinds to the last sealed
+// step, and the failed rank restores from the global level (its local copy
+// died with the node, no buddy cadence is configured).
+func TestGlobalLevelSealing(t *testing.T) {
+	p := baseParams()
+	p.Mode = xpic.BoosterOnly
+	p.SCR = scr.Config{GlobalEvery: 1}
+	p.MTBF = 30 * vclock.Millisecond
+	p.Seed = 4 // pinned: fails around the step-6 checkpoint, before its seal
+	p.MaxFailures = 1
+	out := run(t, p)
+
+	if out.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", out.Failures)
+	}
+	r := out.Restarts[0]
+	if r.Cold || r.FromStep != 3 {
+		t.Fatalf("want warm restart from sealed step 3, got %+v", r)
+	}
+	if r.Levels[0] != "global" || r.Levels[1] != "local" {
+		t.Fatalf("levels %v, want [global local] (bn00 died, no buddy cadence)", r.Levels)
+	}
+	clean := run(t, func() Params { q := p; q.MTBF = 0; q.MaxFailures = 0; return q }())
+	if out.Report.Checksum != clean.Report.Checksum {
+		t.Fatal("global-level restart changed the physics")
+	}
+}
+
+// TestSplitModeWarmRestart replays the C+B mode: both solver sides rewind,
+// the booster side restoring particles, the cluster side its grid state. A
+// split restart additionally pays the MPI_Comm_spawn of the relaunch, so the
+// makespan delta exceeds lost+restore+overhead by exactly that.
+func TestSplitModeWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("split resilience replay is seconds-scale")
+	}
+	p := baseParams()
+	p.Mode = xpic.SplitCB
+	clean := run(t, p)
+
+	p.MTBF = 110 * vclock.Millisecond
+	p.Seed = 5 // pinned: bn00 fails after the step-3 checkpoint
+	p.MaxFailures = 1
+	out := run(t, p)
+
+	if out.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", out.Failures)
+	}
+	r := out.Restarts[0]
+	if r.Cold || r.FromStep != 3 || r.FailedNode != "bn00" {
+		t.Fatalf("want warm restart from step 3 after bn00 failure, got %+v", r)
+	}
+	// 4 global ranks: booster 0,1 then cluster 2,3. bn00's rank restores
+	// from its buddy copy, everyone else locally.
+	want := []string{"buddy", "local", "local", "local"}
+	if len(r.Levels) != 4 {
+		t.Fatalf("levels %v, want %v", r.Levels, want)
+	}
+	for i, lv := range want {
+		if r.Levels[i] != lv {
+			t.Fatalf("levels %v, want %v", r.Levels, want)
+		}
+	}
+	delta := out.Report.Makespan - clean.Report.Makespan
+	sum := out.LostWork + out.RestoreTime + out.RestartOverheadTotal +
+		psmpi.DefaultConfig().SpawnOverhead // the relaunch re-spawns the cluster side
+	if !relClose(delta, sum, 1e-2) {
+		t.Fatalf("split makespan delta %v != lost+restore+overhead+respawn %v", delta, sum)
+	}
+	if out.Report.Checksum != clean.Report.Checksum ||
+		out.Report.FieldEnergy != clean.Report.FieldEnergy {
+		t.Fatal("split restart changed the physics")
+	}
+}
+
+// TestRepeatedFailures drives two failures through the replay loop and
+// checks the outcome aggregates both restarts.
+func TestRepeatedFailures(t *testing.T) {
+	p := baseParams()
+	p.MTBF = 8 * vclock.Millisecond
+	p.RestartOverhead = 10 * vclock.Millisecond
+	p.Seed = 2 // pinned: two warm restarts, both from step 6
+	p.MaxFailures = 2
+	out := run(t, p)
+
+	if out.Failures != 2 || len(out.Restarts) != 2 {
+		t.Fatalf("failures = %d, want 2 (%+v)", out.Failures, out.Restarts)
+	}
+	for i, r := range out.Restarts {
+		if r.Cold || r.FromStep != 6 {
+			t.Fatalf("restart %d: want warm from step 6, got %+v", i, r)
+		}
+	}
+	if out.RestartOverheadTotal != 20*vclock.Millisecond {
+		t.Fatalf("overhead total %v, want 20ms", out.RestartOverheadTotal)
+	}
+	clean := run(t, baseParams())
+	if out.Report.Checksum != clean.Report.Checksum {
+		t.Fatal("two restarts changed the physics")
+	}
+}
+
+// TestRestartBudgetExhausted checks the loop fails loudly when failures
+// outpace the budget.
+func TestRestartBudgetExhausted(t *testing.T) {
+	p := baseParams()
+	p.MTBF = vclock.Millisecond // a failure nearly every attempt
+	p.Seed = 1
+	p.MaxFailures = 1 << 30
+	p.MaxRestarts = 3
+	if _, err := Run(p); err == nil {
+		t.Fatal("unbounded failures completed within 3 restarts")
+	}
+}
+
+// TestValidation covers the parameter errors.
+func TestValidation(t *testing.T) {
+	if _, err := Run(Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	p := baseParams()
+	p.Mode = xpic.SplitCB
+	p.SCR.GlobalEvery = 1
+	if _, err := Run(p); err == nil {
+		t.Fatal("split mode with global level accepted")
+	}
+}

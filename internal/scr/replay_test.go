@@ -1,0 +1,53 @@
+package scr
+
+import (
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/nvme"
+)
+
+// replayManager builds a 4-rank manager with a buddy-every-2 cadence.
+func replayManager(t *testing.T) *Manager {
+	t.Helper()
+	sys := machine.New(4, 0)
+	nodes := sys.Module(machine.Cluster)
+	devs := map[int]*nvme.Device{}
+	for _, n := range nodes {
+		devs[n.ID] = nvme.New(nvme.P3700())
+	}
+	m, err := New(Config{BuddyEvery: 2}, nil, nil, nodes, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBeginCheckpointIdempotent checks that re-beginning a step — another
+// rank of the same collective, or a post-restart replay — returns the
+// original plan without advancing the cadence.
+func TestBeginCheckpointIdempotent(t *testing.T) {
+	m := replayManager(t)
+	p10 := m.BeginCheckpoint(10) // seq 1: local only
+	p20 := m.BeginCheckpoint(20) // seq 2: local+buddy
+	if len(p10) != 1 || len(p20) != 2 {
+		t.Fatalf("cadence plans %v / %v, want [local] / [local buddy]", p10, p20)
+	}
+	// Other ranks of the same checkpoint see the same plan.
+	for i := 0; i < 3; i++ {
+		if got := m.BeginCheckpoint(20); len(got) != 2 {
+			t.Fatalf("re-begun step 20 plan %v, want the original [local buddy]", got)
+		}
+	}
+	// A replay that rewound past step 10 re-begins it: same plan, and the
+	// cadence counter must not have moved — step 30 is the 3rd checkpoint.
+	if got := m.BeginCheckpoint(10); len(got) != 1 {
+		t.Fatalf("replayed step 10 plan %v, want the original [local]", got)
+	}
+	if p30 := m.BeginCheckpoint(30); len(p30) != 1 {
+		t.Fatalf("step 30 plan %v, want [local] (seq 3)", p30)
+	}
+	if p40 := m.BeginCheckpoint(40); len(p40) != 2 {
+		t.Fatalf("step 40 plan %v, want [local buddy] (seq 4)", p40)
+	}
+}

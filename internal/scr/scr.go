@@ -14,12 +14,21 @@
 // The manager keeps the checkpoint database, applies the level cadence,
 // computes the Young/Daly optimal interval from the failure model, and
 // serves restarts from the best surviving level after injected failures.
+//
+// A Manager needs no locking: every caller runs under one discrete-event
+// kernel (internal/engine), which serialises the rank goroutines of a job by
+// construction — exactly one holds the execution baton at any moment, and
+// failure injection itself runs as a kernel callback holding that same
+// baton. Host-parallel sweep scenarios each boot their own system and their
+// own Manager, and the restart replay loop drives its Manager from a single
+// goroutine between launches, so no two goroutines ever touch one Manager
+// concurrently. (The manager held a sync.Mutex when ranks ran free under the
+// pre-kernel execution model; the cooperative scheduler made it dead weight.)
 package scr
 
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/fabric"
@@ -82,7 +91,6 @@ type Manager struct {
 	nodes []*machine.Node // rank → node
 	devs  map[int]*nvme.Device
 
-	mu      sync.Mutex
 	seq     int // checkpoint counter (for cadence)
 	records map[int]*record
 	writers map[string]*sion.Writer // open global containers by path
@@ -93,9 +101,18 @@ type Manager struct {
 
 type record struct {
 	step        int
+	levels      []Level // the plan BeginCheckpoint decided for this step
 	localValid  []bool
 	buddyValid  []bool
 	globalValid []bool
+	// globalSealed is set by CompleteGlobal: chunks written into a SION
+	// container that was never closed (the job died mid-checkpoint) are not
+	// restorable, so BestRestart must not count them.
+	globalSealed bool
+	// globalWrote tracks which ranks wrote into the currently open container
+	// (reset per round). A rank writing twice means a restart replay reached
+	// this step again: the stale container must be replaced, not appended to.
+	globalWrote []bool
 	globalPath  string
 }
 
@@ -136,11 +153,17 @@ func (m *Manager) BuddyOf(rank int) int { return (rank + 1) % len(m.nodes) }
 
 func key(step, rank int) string { return fmt.Sprintf("scr/step%d/rank%d", step, rank) }
 
-// BeginCheckpoint opens checkpoint number seq for the given step and decides
-// which levels this checkpoint writes, per the configured cadence.
+// BeginCheckpoint opens the checkpoint for the given step and decides which
+// levels it writes, per the configured cadence. The call is idempotent per
+// step: the first call advances the cadence counter and fixes the plan, and
+// every later call — another rank of the same collective checkpoint, or a
+// replay re-checkpointing the step after a restart — returns that original
+// plan unchanged. Tying the cadence to the step rather than the call count
+// keeps level selection stable across failure/restart replays.
 func (m *Manager) BeginCheckpoint(step int) []Level {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if rec, ok := m.records[step]; ok {
+		return append([]Level(nil), rec.levels...)
+	}
 	m.seq++
 	levels := []Level{LevelLocal}
 	if m.cfg.BuddyEvery > 0 && m.seq%m.cfg.BuddyEvery == 0 {
@@ -149,25 +172,22 @@ func (m *Manager) BeginCheckpoint(step int) []Level {
 	if m.cfg.GlobalEvery > 0 && m.seq%m.cfg.GlobalEvery == 0 {
 		levels = append(levels, LevelGlobal)
 	}
-	if _, ok := m.records[step]; !ok {
-		n := len(m.nodes)
-		m.records[step] = &record{
-			step:        step,
-			localValid:  make([]bool, n),
-			buddyValid:  make([]bool, n),
-			globalValid: make([]bool, n),
-			globalPath:  fmt.Sprintf("/scr/ckpt-step%d.sion", step),
-		}
+	n := len(m.nodes)
+	m.records[step] = &record{
+		step:        step,
+		levels:      levels,
+		localValid:  make([]bool, n),
+		buddyValid:  make([]bool, n),
+		globalValid: make([]bool, n),
+		globalPath:  fmt.Sprintf("/scr/ckpt-step%d.sion", step),
 	}
-	return levels
+	return append([]Level(nil), levels...)
 }
 
 // Checkpoint writes one rank's state for a step at the given levels, and
 // returns the time at which the slowest requested level is durable.
 func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready vclock.Time) (vclock.Time, error) {
-	m.mu.Lock()
 	rec, ok := m.records[step]
-	m.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("scr: checkpoint for step %d not begun", step)
 	}
@@ -180,10 +200,8 @@ func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready 
 			if err != nil {
 				return 0, fmt.Errorf("scr: local level: %w", err)
 			}
-			m.mu.Lock()
 			m.local[key(step, rank)] = append([]byte(nil), data...)
 			rec.localValid[rank] = true
-			m.mu.Unlock()
 			done = vclock.Max(done, t)
 		case LevelBuddy:
 			b := m.BuddyOf(rank)
@@ -196,10 +214,8 @@ func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready 
 			if err != nil {
 				return 0, fmt.Errorf("scr: buddy level: %w", err)
 			}
-			m.mu.Lock()
 			m.buddy[key(step, rank)] = append([]byte(nil), data...)
 			rec.buddyValid[rank] = true
-			m.mu.Unlock()
 			done = vclock.Max(done, t)
 		case LevelGlobal:
 			t, err := m.writeGlobal(rec, rank, data, ready)
@@ -215,42 +231,52 @@ func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready 
 }
 
 // writeGlobal streams one rank's chunk into the step's SION container.
-// Containers are created lazily and closed by CompleteGlobal.
+// Containers are created lazily and closed by CompleteGlobal. A new
+// checkpoint round for the step — a restart replay re-executing it, detected
+// by a rank writing twice, or a fresh write after a seal — replaces the
+// container: Create truncates the path, so the previous round's chunks (and
+// their validity) are gone.
 func (m *Manager) writeGlobal(rec *record, rank int, data []byte, ready vclock.Time) (vclock.Time, error) {
-	m.mu.Lock()
 	w := m.writers[rec.globalPath]
-	m.mu.Unlock()
+	if w != nil && rec.globalWrote[rank] {
+		delete(m.writers, rec.globalPath)
+		w = nil
+	}
 	if w == nil {
 		var err error
 		w, _, err = sion.Create(m.fs, rec.globalPath, len(m.nodes), 64<<10, m.nodes[rank], ready)
 		if err != nil {
 			return 0, fmt.Errorf("scr: global container: %w", err)
 		}
-		m.mu.Lock()
 		m.writers[rec.globalPath] = w
-		m.mu.Unlock()
+		rec.globalSealed = false
+		rec.globalWrote = make([]bool, len(m.nodes))
+		for i := range rec.globalValid {
+			rec.globalValid[i] = false
+		}
 	}
 	t, err := w.WriteTask(rank, data, m.nodes[rank], ready)
 	if err != nil {
 		return 0, fmt.Errorf("scr: global level: %w", err)
 	}
-	m.mu.Lock()
 	rec.globalValid[rank] = true
-	m.mu.Unlock()
+	rec.globalWrote[rank] = true
 	return t, nil
 }
 
 // CompleteGlobal closes the step's global container (call once after all
-// ranks contributed, e.g. from rank 0 after a barrier).
+// ranks contributed, e.g. from rank 0 after a barrier). Only a completed
+// container is restorable: a failure that strikes between the writes and
+// this call leaves the step's global level unusable, and BestRestart skips
+// it.
 func (m *Manager) CompleteGlobal(step, rank int, ready vclock.Time) (vclock.Time, error) {
-	m.mu.Lock()
 	rec, ok := m.records[step]
-	var w *sion.Writer
-	if ok {
-		w = m.writers[rec.globalPath]
-		delete(m.writers, rec.globalPath)
+	if !ok {
+		return ready, nil
 	}
-	m.mu.Unlock()
+	w := m.writers[rec.globalPath]
+	delete(m.writers, rec.globalPath)
+	rec.globalSealed = true
 	if w == nil {
 		return ready, nil
 	}
@@ -258,13 +284,23 @@ func (m *Manager) CompleteGlobal(step, rank int, ready vclock.Time) (vclock.Time
 }
 
 // FailNode models the loss of a node: its NVMe contents vanish, invalidating
-// the local level of every rank on it and the buddy copies it held.
+// the local level of every rank on it and the buddy copies it held. Global
+// checkpoints that were mid-write — container open, not yet sealed — die
+// with the job: their writers are discarded and their chunks invalidated,
+// so the restart replay re-creates the container from scratch.
 func (m *Manager) FailNode(nodeID int) {
 	if dev, ok := m.devs[nodeID]; ok {
 		dev.DropAll()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	for _, rec := range m.records {
+		if _, open := m.writers[rec.globalPath]; open {
+			delete(m.writers, rec.globalPath)
+			rec.globalWrote = nil
+			for i := range rec.globalValid {
+				rec.globalValid[i] = false
+			}
+		}
+	}
 	for _, rec := range m.records {
 		for rank, node := range m.nodes {
 			if node.ID != nodeID {
@@ -288,8 +324,6 @@ func (m *Manager) FailNode(nodeID int) {
 // (from any level), and per-rank levels to use. ok is false if no complete
 // checkpoint survives.
 func (m *Manager) BestRestart() (step int, levels []Level, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	best := -1
 	var bestLv []Level
 	for s, rec := range m.records {
@@ -304,7 +338,7 @@ func (m *Manager) BestRestart() (step int, levels []Level, ok bool) {
 				lv[rank] = LevelLocal
 			case rec.buddyValid[rank]:
 				lv[rank] = LevelBuddy
-			case rec.globalValid[rank]:
+			case rec.globalValid[rank] && rec.globalSealed:
 				lv[rank] = LevelGlobal
 			default:
 				good = false
@@ -329,9 +363,7 @@ func (m *Manager) Restore(rank, step int, lv Level, ready vclock.Time) ([]byte, 
 	node := m.nodes[rank]
 	switch lv {
 	case LevelLocal:
-		m.mu.Lock()
 		data, ok := m.local[key(step, rank)]
-		m.mu.Unlock()
 		if !ok {
 			return nil, 0, fmt.Errorf("scr: no local checkpoint for rank %d step %d", rank, step)
 		}
@@ -341,9 +373,7 @@ func (m *Manager) Restore(rank, step int, lv Level, ready vclock.Time) ([]byte, 
 		}
 		return append([]byte(nil), data...), t, nil
 	case LevelBuddy:
-		m.mu.Lock()
 		data, ok := m.buddy[key(step, rank)]
-		m.mu.Unlock()
 		if !ok {
 			return nil, 0, fmt.Errorf("scr: no buddy checkpoint for rank %d step %d", rank, step)
 		}
@@ -356,9 +386,7 @@ func (m *Manager) Restore(rank, step int, lv Level, ready vclock.Time) ([]byte, 
 		_, arrival := m.net.Rendezvous(bn, node, len(data), t, t)
 		return append([]byte(nil), data...), arrival, nil
 	case LevelGlobal:
-		m.mu.Lock()
 		rec, ok := m.records[step]
-		m.mu.Unlock()
 		if !ok {
 			return nil, 0, fmt.Errorf("scr: unknown step %d", step)
 		}

@@ -1,0 +1,52 @@
+// Resilience scenarios: the MTBF × checkpoint-level × mode axis of the
+// DEEP-ER evaluation. A ResiliencePoint wraps a resilience.Params into a
+// self-contained Scenario — fresh system, fresh SCR manager, seeded failure
+// injector — so resilience grids run host-parallel under the same
+// byte-determinism guarantee as every other sweep: the failure sequence is
+// drawn in virtual time from the scenario's own seed, never from host state.
+package sweep
+
+import (
+	"clusterbooster/internal/resilience"
+)
+
+// ResiliencePoint is one resilience grid point: an xPic run under failure
+// injection with checkpoint/restart replay.
+type ResiliencePoint struct {
+	resilience.Params
+}
+
+// Scenario wraps the point as a self-contained Scenario reporting the
+// standard xPic metric set plus the resilience accounting.
+func (p ResiliencePoint) Scenario(name string) Scenario {
+	return Scenario{Name: name, Run: func() (Outcome, error) {
+		out, err := resilience.Run(p.Params)
+		if err != nil {
+			return Outcome{}, err
+		}
+		rep := out.Report
+		m := Metrics{
+			"makespan_s":         rep.Makespan.Seconds(),
+			"field_s":            rep.FieldTime.Seconds(),
+			"particle_s":         rep.ParticleTime.Seconds(),
+			"failures":           float64(out.Failures),
+			"restarts":           float64(len(out.Restarts)),
+			"checkpoints":        float64(out.Checkpoints),
+			"checkpoint_s":       out.CheckpointTime.Seconds(),
+			"lost_work_s":        out.LostWork.Seconds(),
+			"restore_s":          out.RestoreTime.Seconds(),
+			"restart_overhead_s": out.RestartOverheadTotal.Seconds(),
+		}
+		if n := len(out.Restarts); n > 0 {
+			m["rewind_step"] = float64(out.Restarts[n-1].FromStep)
+			cold := 0
+			for _, r := range out.Restarts {
+				if r.Cold {
+					cold++
+				}
+			}
+			m["cold_restarts"] = float64(cold)
+		}
+		return Outcome{Metrics: m, XPic: &rep}, nil
+	}}
+}

@@ -2,6 +2,7 @@ package xpic
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"clusterbooster/internal/beegfs"
@@ -182,6 +183,13 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 			snap := sim.Snapshot()
 			if err := sim.Restore(snap[:len(snap)/2]); err == nil {
 				t.Error("truncated snapshot accepted")
+			}
+			// Corrupt length field whose byte size overflows int: must error,
+			// not panic allocating (offset 24: first field array's length).
+			corrupt := append([]byte(nil), snap...)
+			binary.LittleEndian.PutUint64(corrupt[24:], 1<<60)
+			if err := sim.Restore(corrupt); err == nil {
+				t.Error("huge length field accepted")
 			}
 			return nil
 		},

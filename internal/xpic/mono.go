@@ -13,31 +13,26 @@ import (
 // communicating through the in-memory interface buffers. Passing Cluster
 // nodes yields the paper's "Cluster" scenario, Booster nodes the "Booster"
 // scenario.
+//
+// RunMono is the zero case of the resilient runner: no checkpoints, no
+// failure injection, start at step 0. There is exactly one implementation
+// of the step loop (runResilientMono), so the plain and resilient paths can
+// never model different machines; TestResilientMonoMatchesRunMono pins the
+// equivalence.
 func RunMono(rt *psmpi.Runtime, nodes []*machine.Node, cfg Config) (Report, error) {
 	if len(nodes) == 0 {
 		return Report{}, fmt.Errorf("xpic: no nodes")
-	}
-	if err := cfg.Validate(len(nodes)); err != nil {
-		return Report{}, err
 	}
 	mode := ClusterOnly
 	if nodes[0].Module == machine.Booster {
 		mode = BoosterOnly
 	}
-	s := &sink{rep: Report{Mode: mode, RanksPerSolver: len(nodes), Steps: cfg.Steps}}
-
-	res, err := rt.Launch(psmpi.LaunchSpec{
-		Nodes: nodes,
-		Main: func(p *psmpi.Proc) error {
-			return monoMain(p, cfg, s)
-		},
+	return RunResilient(rt, ResilientSpec{
+		Mode:           mode,
+		Nodes:          nodes,
+		RanksPerSolver: len(nodes),
+		Cfg:            cfg,
 	})
-	if err != nil {
-		return Report{}, err
-	}
-	s.finalize(len(nodes))
-	s.rep.Makespan = res.Makespan
-	return s.rep, nil
 }
 
 // phase measures the virtual time of fn on rank p.
@@ -45,21 +40,6 @@ func phase(p *psmpi.Proc, acc *vclock.Time, fn func()) {
 	start := p.Now()
 	fn()
 	*acc += p.Now() - start
-}
-
-// monoMain is the Listing 1 main loop, built on the steppable Sim.
-func monoMain(p *psmpi.Proc, cfg Config, s *sink) error {
-	comm := p.World()
-	sim := NewSim(p, comm, cfg)
-	for sim.Step < cfg.Steps {
-		sim.Advance(p, comm)
-		if cfg.Verbose && p.Rank() == 0 && (sim.Step-1)%50 == 0 {
-			fmt.Printf("xpic[mono] step %4d  E_fld=%.6g  E_kin=%.6g  CG=%d\n",
-				sim.Step-1, sim.FieldE, sim.KinE, sim.Fld.LastIters)
-		}
-	}
-	reportSim(p, comm, sim, s)
-	return nil
 }
 
 // reportSim folds a finished Sim into the run report: final-state energy

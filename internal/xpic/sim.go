@@ -141,7 +141,9 @@ func (s *Sim) Restore(data []byte) error {
 	}
 	getF64s := func() ([]float64, bool) {
 		n, ok := getU64()
-		if !ok || pos+8*int(n) > len(data) {
+		// Divide the remaining bytes rather than multiplying the length: a
+		// corrupt length field must fail the check, not overflow past it.
+		if !ok || n > uint64((len(data)-pos)/8) {
 			return nil, false
 		}
 		out := make([]float64, n)

@@ -18,177 +18,19 @@ import (
 //
 // Slab i of the grid pairs Booster rank i (particles) with Cluster rank i
 // (fields); both sides run ranksPerSolver ranks.
+//
+// Like RunMono, RunSplit is the zero case of the resilient runner
+// (runResilientSplit owns the only implementation of the Listing 2–4 step
+// loops); TestResilientSplitRestartEquivalence and the golden suite pin the
+// equivalence.
 func RunSplit(rt *psmpi.Runtime, boosterNodes []*machine.Node, ranksPerSolver int, cfg Config) (Report, error) {
 	if len(boosterNodes) != ranksPerSolver {
 		return Report{}, fmt.Errorf("xpic: %d booster nodes for %d ranks", len(boosterNodes), ranksPerSolver)
 	}
-	if err := cfg.Validate(ranksPerSolver); err != nil {
-		return Report{}, err
-	}
-	s := &sink{rep: Report{Mode: SplitCB, RanksPerSolver: ranksPerSolver, Steps: cfg.Steps}}
-
-	// The __CLUSTER__ executable (Listing 2), registered for spawn.
-	binary := fmt.Sprintf("xpic_cluster_%p", s)
-	rt.Register(binary, func(p *psmpi.Proc) error {
-		return clusterMain(p, cfg, s)
+	return RunResilient(rt, ResilientSpec{
+		Mode:           SplitCB,
+		Nodes:          boosterNodes,
+		RanksPerSolver: ranksPerSolver,
+		Cfg:            cfg,
 	})
-
-	res, err := rt.Launch(psmpi.LaunchSpec{
-		Nodes: boosterNodes,
-		Main: func(p *psmpi.Proc) error {
-			return boosterMain(p, cfg, s, binary)
-		},
-	})
-	if err != nil {
-		return Report{}, err
-	}
-	s.finalize(ranksPerSolver)
-	s.rep.Makespan = res.Makespan
-	return s.rep, nil
-}
-
-// boosterMain is the __BOOSTER__ main loop (Listing 3): it spawns the
-// Cluster side, then per step receives fields, moves particles, gathers
-// moments and sends them back, overlapping communication with auxiliary
-// computations and I/O.
-func boosterMain(p *psmpi.Proc, cfg Config, s *sink, clusterBinary string) error {
-	comm := p.World()
-	ranks := comm.Size()
-	inter, err := p.Spawn(comm, psmpi.SpawnSpec{
-		Binary: clusterBinary,
-		Procs:  ranks,
-		Module: machine.Cluster,
-	})
-	if err != nil {
-		return fmt.Errorf("xpic: spawning cluster side: %w", err)
-	}
-	peer := p.Rank() // cluster rank paired with this slab
-
-	g := NewGrid(cfg.NX, cfg.NY, p.Rank(), ranks)
-	pcl := NewParticleSolver(g, cfg)
-
-	var t Times
-	var kinE float64
-	for step := 0; step < cfg.Steps; step++ {
-		// ClusterToBooster(): post the receive for E,B.
-		var fbuf []float64
-		auxBefore := t.Aux
-		phase(p, &t.Exchange, func() {
-			req := p.Irecv(inter, peer, tagIfaceF)
-			if cfg.NoOverlap {
-				// Ablation: wait first, diagnose afterwards.
-				data, _ := p.Wait(req)
-				fbuf = data.([]float64)
-			}
-			// ...auxiliary computations overlap the transfer...
-			if step%cfg.DiagEvery == 0 {
-				phase(p, &t.Aux, func() {
-					kinE = p.AllreduceScalar(comm, pcl.KineticEnergy(p), psmpi.OpSum)
-				})
-			}
-			if !cfg.NoOverlap {
-				// ClusterWait()
-				data, _ := p.Wait(req)
-				fbuf = data.([]float64)
-			}
-		})
-		t.Exchange -= t.Aux - auxBefore // overlapped aux is not exchange time
-
-		// pcl.cpyFromArr_F(): unpack fields, then fill ghosts from the
-		// neighbouring Booster ranks (BN-BN halo traffic).
-		phase(p, &t.Exchange, func() {
-			unpackFields(p, g, FieldNames, fbuf)
-			g.ExchangeHalos(p, comm, FieldNames...)
-		})
-
-		// ParticlesMove + ParticleMoments per species.
-		phase(p, &t.Particle, func() {
-			pcl.Move(p)
-			pcl.Migrate(p, comm)
-			pcl.Gather(p)
-			g.ReduceMomentHalos(p, comm)
-		})
-
-		// pcl.cpyToArr_M(); BoosterToCluster(): Issend ρ,J (Listing 4). The
-		// packed buffer is fresh, so it ships without a value-semantics copy.
-		phase(p, &t.Exchange, func() {
-			mbuf := packFields(p, g, MomentNames)
-			req := p.Issend(inter, peer, tagIfaceM, mbuf, 8*len(mbuf))
-			// I/O and auxiliary computations overlap; BoosterWait().
-			p.Wait(req)
-		})
-		if cfg.Verbose && p.Rank() == 0 && step%50 == 0 {
-			fmt.Printf("xpic[C+B booster] step %4d  E_kin=%.6g  particles=%d\n", step, kinE, pcl.TotalN())
-		}
-	}
-
-	// Final-state diagnostic, identical to the mono-mode computation.
-	finalKin := p.AllreduceScalar(comm, pcl.KineticEnergy(p), psmpi.OpSum)
-	_ = kinE
-
-	s.addTimes(Times{Particle: t.Particle, Exchange: t.Exchange, Aux: t.Aux}, 0)
-	s.addPhysics(p.Rank(), 0, pickRank0(p, finalKin), pcl.TotalCharge(), checksum(pcl))
-	return nil
-}
-
-// clusterMain is the __CLUSTER__ main loop (Listing 2): solve E, ship E,B to
-// the Booster, receive moments back, advance B.
-func clusterMain(p *psmpi.Proc, cfg Config, s *sink) error {
-	comm := p.World()
-	inter := p.Parent()
-	if inter == nil {
-		return fmt.Errorf("xpic: cluster side has no parent intercommunicator")
-	}
-	peer := p.Rank() // booster rank paired with this slab
-
-	g := NewGrid(cfg.NX, cfg.NY, p.Rank(), comm.Size())
-	fld := NewFieldSolver(g, cfg)
-
-	var t Times
-	cgIters := 0
-	var fieldE float64
-	for step := 0; step < cfg.Steps; step++ {
-		// fld.solver->calculateE()
-		phase(p, &t.Field, func() { fld.SolveE(p, comm) })
-		cgIters += fld.LastIters
-
-		// fld.cpyToArr_F(); ClusterToBooster(): Issend E,B (Listing 4).
-		auxBefore := t.Aux
-		phase(p, &t.Exchange, func() {
-			fbuf := packFields(p, g, FieldNames)
-			req := p.Issend(inter, peer, tagIfaceF, fbuf, 8*len(fbuf))
-			if cfg.NoOverlap {
-				p.Wait(req)
-			}
-			// Auxiliary computations overlap the transfer (Listing 2 line 6).
-			if step%cfg.DiagEvery == 0 {
-				phase(p, &t.Aux, func() {
-					fieldE = p.AllreduceScalar(comm, fld.FieldEnergy(p), psmpi.OpSum)
-				})
-			}
-			if !cfg.NoOverlap {
-				// ClusterWait()
-				p.Wait(req)
-			}
-		})
-		t.Exchange -= t.Aux - auxBefore // overlapped aux is not exchange time
-
-		// BoosterToCluster(): Irecv ρ,J; BoosterWait(); cpyFromArr_M.
-		phase(p, &t.Exchange, func() {
-			req := p.Irecv(inter, peer, tagIfaceM)
-			data, _ := p.Wait(req)
-			unpackFields(p, g, MomentNames, data.([]float64))
-		})
-
-		// fld.solver->calculateB()
-		phase(p, &t.Field, func() { fld.SolveB(p, comm) })
-	}
-
-	// Final-state diagnostic, identical to the mono-mode computation.
-	finalField := p.AllreduceScalar(comm, fld.FieldEnergy(p), psmpi.OpSum)
-	_ = fieldE
-
-	s.addTimes(Times{Field: t.Field, Exchange: t.Exchange, Aux: t.Aux}, cgIters)
-	s.addPhysics(p.Rank(), pickRank0(p, finalField), 0, 0, 0)
-	return nil
 }
