@@ -6,13 +6,23 @@
 // Usage:
 //
 //	cbctl list [-v]
-//	cbctl run   [-workers N] [-v] [-text] [-stats] -all | <experiment> ...
+//	cbctl run   [-workers N] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
 //	cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
 //	cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+//	cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
 //
 // run prints one canonical JSON document per selected experiment; with
 // several experiments the output is a concatenated stream of documents (use
 // a streaming decoder, or select one experiment for a single JSON value).
+// -stats adds the execution-kernel counters and the scenario-cache hit/miss
+// counters on stderr; -cpuprofile/-memprofile capture pprof profiles of the
+// runs for perf work.
+//
+// bench maintains BENCH_kernel.json, the checked-in machine-readable
+// baseline of the kernel benchmarks: it parses `go test -bench -benchmem`
+// output from stdin (or -in), prints the canonical JSON form, records it
+// (-update), or gates a fresh run against the baseline (-check fails on
+// regressions beyond -max-regress; the CI bench-regression job runs it).
 //
 // diff exits non-zero when any experiment drifts from its golden, misses a
 // baseline, or violates a declared virtual-time perf budget — the `golden`
@@ -34,9 +44,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
+	"clusterbooster/internal/benchdata"
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
+	"clusterbooster/internal/prof"
+	"clusterbooster/internal/sweep"
 )
 
 func main() {
@@ -62,6 +76,8 @@ func dispatch(args []string, out, errw io.Writer) int {
 		return runDiff(args, out, errw)
 	case "bless":
 		return runBless(args, out, errw)
+	case "bench":
+		return runBench(args, out, errw)
 	case "help", "-h", "-help", "--help":
 		usage(errw)
 		return 0
@@ -75,26 +91,35 @@ func dispatch(args []string, out, errw io.Writer) int {
 func usage(errw io.Writer) {
 	fmt.Fprintf(errw, `usage:
   cbctl list [-v]
-  cbctl run   [-workers N] [-v] [-text] [-stats] -all | <experiment> ...
+  cbctl run   [-workers N] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
   cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
   cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+  cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
 
 Experiments are the registered paper artifacts and sweeps (see 'cbctl list'
 and EXPERIMENTS.md). diff exits non-zero on golden drift, missing baselines,
 or virtual-time budget violations.
+
+bench parses 'go test -bench -benchmem' output (stdin, or -in FILE) into the
+canonical baseline JSON: -update records it as BENCH_kernel.json at the
+module root, -check compares against the recorded baseline and exits
+non-zero on any benchmark slower than -max-regress (default 0.25 = +25%%)
+or allocating beyond it.
 `)
 }
 
 // common per-verb flags.
 type verbFlags struct {
-	fs        *flag.FlagSet
-	all       *bool
-	workers   *int
-	verbose   *bool
-	tolerance *bool
-	chdir     *string
-	text      *bool
-	stats     *bool
+	fs         *flag.FlagSet
+	all        *bool
+	workers    *int
+	verbose    *bool
+	tolerance  *bool
+	chdir      *string
+	text       *bool
+	stats      *bool
+	cpuprofile *string
+	memprofile *string
 }
 
 // parse runs the flag set; ok=false stops the verb with the given exit
@@ -129,16 +154,42 @@ func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText boo
 	if withText {
 		v.text = fs.Bool("text", false, "render paper-style text instead of canonical JSON")
 		v.stats = fs.Bool("stats", false, "print execution-kernel runtime stats to stderr after the runs")
+		v.cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
+		v.memprofile = fs.String("memprofile", "", "write a pprof allocation profile of the runs to this file")
 	}
 	return v
 }
 
-// reportStats prints the aggregated execution-kernel counters to stderr when
-// the verb's -stats flag is set.
+// reportStats prints the aggregated execution-kernel counters and the
+// scenario-cache hit/miss counters to stderr when the verb's -stats flag is
+// set.
 func (v verbFlags) reportStats(errw io.Writer) {
 	if v.stats != nil && *v.stats {
 		fmt.Fprintf(errw, "cbctl: kernel %s\n", engine.Global())
+		fmt.Fprintf(errw, "cbctl: %s\n", sweep.RunCacheStats())
 	}
+}
+
+// startProfiles arms -cpuprofile/-memprofile capture; the returned stop
+// function is safe to call unconditionally.
+func (v verbFlags) startProfiles(errw io.Writer) (func(), bool) {
+	cpu, mem := "", ""
+	if v.cpuprofile != nil {
+		cpu = *v.cpuprofile
+	}
+	if v.memprofile != nil {
+		mem = *v.memprofile
+	}
+	stop, err := prof.Start(cpu, mem)
+	if err != nil {
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
+		return func() {}, false
+	}
+	return func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+		}
+	}, true
 }
 
 // select resolves the experiment selection from -all / positional names.
@@ -215,6 +266,11 @@ func runRun(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "cbctl: %v\n", err)
 		return 2
 	}
+	stopProf, ok := v.startProfiles(errw)
+	if !ok {
+		return 2
+	}
+	defer stopProf()
 	opts := v.options(errw)
 	for _, e := range exps {
 		doc, err := e.Run(opts)
@@ -343,4 +399,112 @@ func runBless(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "cbctl: note: budget violations persist until the declared bounds are revised in internal/exp")
 	}
 	return 0
+}
+
+// benchBaselineFile is the checked-in benchmark baseline at the module root.
+const benchBaselineFile = "BENCH_kernel.json"
+
+// runBench converts `go test -bench -benchmem` output into the canonical
+// baseline JSON, records it (-update), or gates a fresh run against the
+// checked-in baseline (-check).
+func runBench(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("cbctl bench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	in := fs.String("in", "-", "benchmark output to parse (default: stdin)")
+	check := fs.Bool("check", false, "compare against the checked-in baseline; non-zero exit on regressions")
+	update := fs.Bool("update", false, "record the parsed run as the new checked-in baseline")
+	maxRegress := fs.Float64("max-regress", 0.25, "tolerated fractional ns/op slowdown per benchmark in -check mode")
+	maxAllocs := fs.Float64("max-allocs-regress", -1, "tolerated fractional allocs/op growth in -check mode (default: -max-regress; allocs are machine-independent, so gate them tightly even when ns/op needs cross-machine slack)")
+	note := fs.String("note", "", "provenance note stored in the baseline (with -update)")
+	chdir := fs.String("C", "", "module root for the baseline file (default: walk up from cwd)")
+	switch err := fs.Parse(args); {
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case err != nil:
+		return 2
+	}
+	if fs.NArg() != 0 || (*check && *update) {
+		fmt.Fprintln(errw, "cbctl: bench takes no positional arguments; -check and -update are mutually exclusive")
+		return 2
+	}
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	fresh, err := benchdata.Parse(src)
+	if err != nil {
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
+		return 1
+	}
+	fresh.Note = *note
+
+	root := *chdir
+	if root == "" {
+		root = exp.FindModuleRoot(".")
+	}
+	switch {
+	case *update:
+		if root == "" {
+			fmt.Fprintln(errw, "cbctl: bench -update needs the source tree; run from inside the module or pass -C <root>")
+			return 2
+		}
+		b, err := fresh.Canonical()
+		if err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(root, benchBaselineFile)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "recorded %d benchmarks -> %s\n", len(fresh.Benchmarks), path)
+		return 0
+	case *check:
+		if root == "" {
+			fmt.Fprintln(errw, "cbctl: bench -check needs the source tree; run from inside the module or pass -C <root>")
+			return 2
+		}
+		data, err := os.ReadFile(filepath.Join(root, benchBaselineFile))
+		if err != nil {
+			fmt.Fprintf(errw, "cbctl: no baseline: %v (record one with: cbctl bench -update)\n", err)
+			return 1
+		}
+		baseline, err := benchdata.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+			return 1
+		}
+		if *maxAllocs < 0 {
+			*maxAllocs = *maxRegress
+		}
+		regs := benchdata.Compare(baseline, fresh, *maxRegress, *maxAllocs)
+		if len(regs) == 0 {
+			fmt.Fprintf(out, "ok   %d benchmarks within %.0f%% ns/op, %.0f%% allocs/op of %s\n",
+				len(baseline.Benchmarks), *maxRegress*100, *maxAllocs*100, benchBaselineFile)
+			return 0
+		}
+		for _, r := range regs {
+			fmt.Fprintf(out, "FAIL %s\n", r)
+		}
+		fmt.Fprintf(out, "\ncbctl bench: %d of %d benchmarks regressed beyond %.0f%%\n",
+			len(regs), len(baseline.Benchmarks), *maxRegress*100)
+		fmt.Fprintln(out, "If the change is intentional, re-record with: go test ./internal/bench -run xxx -bench Kernel -benchmem | cbctl bench -update")
+		return 1
+	default:
+		b, err := fresh.Canonical()
+		if err != nil {
+			fmt.Fprintf(errw, "cbctl: %v\n", err)
+			return 1
+		}
+		out.Write(b)
+		return 0
+	}
 }

@@ -24,7 +24,10 @@
 //	-csv       emit sweep results as CSV instead of text
 //	-v         print per-scenario progress to stderr
 //	-stats     print execution-kernel runtime stats (events processed,
-//	           events/sec wall-clock, peak parked ranks) to stderr
+//	           events/sec wall-clock, peak parked ranks) and scenario-cache
+//	           hit/miss counters to stderr
+//	-cpuprofile F  write a pprof CPU profile of the run to F
+//	-memprofile F  write a pprof allocation profile of the run to F
 //
 // Resilience flags (§III-D live fault injection; use with -resilience):
 //
@@ -59,6 +62,7 @@ import (
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
+	"clusterbooster/internal/prof"
 	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/vclock"
@@ -85,6 +89,8 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
 	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
 	stats := flag.Bool("stats", false, "print execution-kernel runtime stats to stderr after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] %s|all\n", strings.Join(artifactNames(), "|"))
 		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
@@ -92,6 +98,20 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// os.Exit skips defers, so every exit path below goes through exit() to
+	// flush the -cpuprofile/-memprofile capture first.
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+		os.Exit(2)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	cfg := xpic.Table2Config()
 	if *quick {
@@ -113,17 +133,17 @@ func main() {
 	if *doSweep {
 		if flag.NArg() != 0 || *doResilience {
 			flag.Usage()
-			os.Exit(2)
+			exit(2)
 		}
 		code := runSweep(cfg, *withSCR, opts, *asJSON, *asCSV)
 		reportStats(*stats)
-		os.Exit(code)
+		exit(code)
 	}
 
 	if *doResilience {
 		if flag.NArg() != 0 {
 			flag.Usage()
-			os.Exit(2)
+			exit(2)
 		}
 		code := runResilience(resilienceFlags{
 			cfg: cfg, mode: *modeName, level: *level, nodes: *nodes,
@@ -131,16 +151,16 @@ func main() {
 			seed: *seed, restartOverhead: *restartOverhead,
 		}, *asJSON)
 		reportStats(*stats)
-		os.Exit(code)
+		exit(code)
 	}
 
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 	if *withSCR || *asCSV {
 		fmt.Fprintln(os.Stderr, "deepsim: -scr and -csv require -sweep")
-		os.Exit(2)
+		exit(2)
 	}
 
 	target := flag.Arg(0)
@@ -151,7 +171,7 @@ func main() {
 		targets = []string{target}
 	} else {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	for _, name := range targets {
@@ -159,13 +179,13 @@ func main() {
 		doc, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *asJSON {
 			b, err := doc.Canonical()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
-				os.Exit(1)
+				exit(1)
 			}
 			os.Stdout.Write(b)
 			continue
@@ -173,20 +193,23 @@ func main() {
 		text, err := e.Render(doc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deepsim: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println(text)
 	}
 	reportStats(*stats)
+	exit(0)
 }
 
 // reportStats prints the aggregated execution-kernel counters (events
-// processed, events/sec wall-clock, peak parked ranks) to stderr.
+// processed, events/sec wall-clock, peak parked ranks) and the scenario
+// cache counters to stderr.
 func reportStats(enabled bool) {
 	if !enabled {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "deepsim: kernel %s\n", engine.Global())
+	fmt.Fprintf(os.Stderr, "deepsim: %s\n", sweep.RunCacheStats())
 }
 
 // artifactNames lists the registry's paper artifacts (the targets of this

@@ -7,23 +7,34 @@
 // rendezvous send awaiting its match, on a device completion — and then parks
 // in the engine. Whoever makes the task runnable again (the matching sender,
 // the receiver that resolves the handshake, the task's own timer) schedules a
-// wakeup event on the kernel's priority queue, which is ordered by virtual
-// time with a stable schedule-order tiebreak (vclock.EventQueue). Parking
-// hands the execution baton to the earliest pending event, so exactly one
-// task executes at any moment and the event order — hence the simulation —
-// is deterministic by construction: host scheduling never decides anything.
+// wakeup event on the kernel's event queue, which is ordered by virtual
+// time with a stable schedule-order tiebreak. Parking hands the execution
+// baton to the earliest pending event, so exactly one task executes at any
+// moment and the event order — hence the simulation — is deterministic by
+// construction: host scheduling never decides anything.
 //
-// This replaces the previous execution model, in which every rank goroutine
-// ran free and synchronised through mutexes and condition variables, with
-// determinism maintained by a per-resource ownership protocol. The kernel
-// needs no such protocol (any task may touch any model state; the baton
-// serialises them), burns no host time on lock contention, and makes rank
-// counts cheap: a parked task is a goroutine blocked on a channel plus one
-// queue entry, so simulations of thousands of ranks schedule as fast as the
-// event queue can pop.
+// The queue is a calendar queue (vclock.CalQueue) with amortized O(1) push
+// and pop, carrying a tagged event record — a task pointer or a callback
+// index, nothing boxed in an interface — so steady-state event traffic
+// allocates nothing. Three fast paths keep the per-event constant factor
+// down:
+//
+//   - Direct handoff. The wake-then-park pattern (a sender resolves a match,
+//     wakes the receiver, parks) keeps the woken event in the queue's
+//     one-slot front register when it is the earliest; the park pops it
+//     straight back out without touching a bucket.
+//
+//   - Keep the baton. A task sleeping to a wakeup strictly earlier than
+//     every pending event (SleepUntil, device waits) never enqueues at all:
+//     it keeps running, paying no queue traffic and no goroutine switch.
+//
+//   - Wakeup batching. Events due at one instant — a collective fan-out
+//     waking a whole tree level — are drained from the queue in a single
+//     batch, and the baton is handed down the batch without per-event queue
+//     operations.
 //
 // A blocked task with no pending event to wake it would previously hang the
-// process; the kernel detects this (empty event queue with live blocked
+// process; the kernel detects this (no pending events with live blocked
 // tasks) and fails every blocked task with a deadlock error instead.
 //
 // Beyond task wakeups, the queue carries callback events (CallAt): a function
@@ -34,10 +45,16 @@
 // are woken at the failure instant just to die). Because teardown goes
 // through the ordinary event machinery, a job aborted by a failure drains
 // cleanly instead of tripping the deadlock detector.
+//
+// Engines and their task structs are pooled: Recycle returns a finished
+// kernel (queue buckets, callback registry, task structs and their resume
+// channels included) for the next launch, so a sweep running thousands of
+// scenarios re-boots kernels out of warm memory.
 package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"clusterbooster/internal/vclock"
@@ -52,34 +69,111 @@ const (
 	stateDone           // exited
 )
 
+// kev is the tagged event record: exactly one of task (a wakeup) or cb (a
+// 1-based index into the engine's callback registry) is set. Storing the tag
+// inline in the calendar queue's entry — instead of boxing the payload in an
+// `any` — removes an allocation and an interface dispatch from every
+// scheduled event.
+type kev struct {
+	task *Task
+	cb   int32
+}
+
 // Engine is one discrete-event kernel instance, driving the tasks of one
 // simulated job tree. All Engine and Task methods except Run must be called
 // either before Run or from the currently running task ("holding the
 // baton"); the kernel's serialisation makes that safe without locks.
 type Engine struct {
-	queue   vclock.EventQueue
-	blocked []*Task // tasks parked without a pending event
-	live    int     // registered, not yet exited
-	poison  bool    // deadlock detected: blocked tasks fail on resume
+	queue   vclock.CalQueue[kev]
+	batch   []vclock.Entry[kev] // drained same-instant events, consumed first
+	bi      int                 // next unconsumed batch index
+	blocked []*Task             // tasks parked without a pending event
+	live    int                 // registered, not yet exited
+	poison  bool                // deadlock detected: blocked tasks fail on resume
 	done    chan struct{}
+
+	cbs    []func() // callback registry, indexed by kev.cb-1
+	cbFree []int32  // free registry slots
+
+	tasks    []*Task // every task of this run, for recycling
+	taskFree []*Task // retired task structs ready for reuse
 
 	stats Stats
 }
 
-// New returns an empty kernel.
+// enginePool recycles kernels across launches: queue buckets, callback
+// registry, batch buffer and task structs all come back warm.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
+// New returns an empty kernel, reusing a recycled one when available.
 func New() *Engine {
-	return &Engine{done: make(chan struct{})}
+	e := enginePool.Get().(*Engine)
+	e.done = make(chan struct{})
+	return e
+}
+
+// Recycle returns a finished kernel to the pool for the next launch. Only
+// call it after Run has returned and every result (Stats included) has been
+// read; the engine and all its tasks are dead to the caller afterwards.
+func (e *Engine) Recycle() {
+	e.queue.Reset()
+	for i := range e.batch {
+		e.batch[i] = vclock.Entry[kev]{}
+	}
+	e.batch = e.batch[:0]
+	e.bi = 0
+	for i := range e.blocked {
+		e.blocked[i] = nil
+	}
+	e.blocked = e.blocked[:0]
+	for i := range e.cbs {
+		e.cbs[i] = nil
+	}
+	e.cbs = e.cbs[:0]
+	e.cbFree = e.cbFree[:0]
+	for _, t := range e.tasks {
+		t.reset()
+		e.taskFree = append(e.taskFree, t)
+	}
+	e.tasks = e.tasks[:0]
+	e.live = 0
+	e.poison = false
+	e.done = nil
+	e.stats = Stats{}
+	enginePool.Put(e)
 }
 
 // Task is one simulated execution context bound to an Engine.
 type Task struct {
 	eng     *Engine
-	name    string
+	label   string // free-form name, or the node name for rank tasks
+	rank    int    // rank id when >= 0; the name is then "rank R @ label"
 	resume  chan struct{}
 	state   int
 	bIdx    int   // index in eng.blocked while stateBlocked
 	poison  bool  // woken only to fail with a deadlock error
 	failure error // set by Fail: the task dies at its next scheduling point
+}
+
+// name renders the task's diagnostic name. Rank tasks store the parts and
+// format lazily — names appear only in failure reports, and a fig8-scale
+// launch would otherwise pay thousands of Sprintfs just to boot.
+func (t *Task) name() string {
+	if t.rank >= 0 {
+		return fmt.Sprintf("rank %d @ %s", t.rank, t.label)
+	}
+	return t.label
+}
+
+// reset prepares a retired task struct for reuse; the resume channel is
+// empty (every handoff is consumed before a task exits) and kept.
+func (t *Task) reset() {
+	t.label = ""
+	t.rank = -1
+	t.state = stateCreated
+	t.bIdx = 0
+	t.poison = false
+	t.failure = nil
 }
 
 // TaskFailure is the panic value a task dies with after Fail: the kernel
@@ -99,23 +193,43 @@ func (f *TaskFailure) Error() string {
 // Unwrap exposes the teardown reason to errors.Is/As.
 func (f *TaskFailure) Unwrap() error { return f.Reason }
 
-// NewTask registers a task. Call StartAt to schedule its first run; the
-// task's goroutine must call WaitStart before touching any simulation state
-// and Exit (via defer) when it returns.
-func (e *Engine) NewTask(name string) *Task {
-	t := &Task{eng: e, name: name, resume: make(chan struct{}, 1), state: stateCreated}
+// newTask registers a task with the given name parts (rank < 0 for plain
+// labels). Task structs come from the recycle pool when available.
+func (e *Engine) newTask(label string, rank int) *Task {
+	var t *Task
+	if n := len(e.taskFree); n > 0 {
+		t = e.taskFree[n-1]
+		e.taskFree[n-1] = nil
+		e.taskFree = e.taskFree[:n-1]
+	} else {
+		t = &Task{resume: make(chan struct{}, 1)}
+	}
+	t.eng = e
+	t.label = label
+	t.rank = rank
+	t.state = stateCreated
+	e.tasks = append(e.tasks, t)
 	e.live++
 	e.stats.Tasks++
 	return t
 }
 
+// NewTask registers a task. Call StartAt to schedule its first run; the
+// task's goroutine must call WaitStart before touching any simulation state
+// and Exit (via defer) when it returns.
+func (e *Engine) NewTask(name string) *Task { return e.newTask(name, -1) }
+
+// NewRankTask registers a task named "rank R @ node" without formatting the
+// name up front (it is rendered only if the task ever fails).
+func (e *Engine) NewRankTask(rank int, node string) *Task { return e.newTask(node, rank) }
+
 // StartAt schedules the task's first execution at virtual time at.
 func (t *Task) StartAt(at vclock.Time) {
 	if t.state != stateCreated {
-		panic(fmt.Sprintf("engine: StartAt on task %q in state %d", t.name, t.state))
+		panic(fmt.Sprintf("engine: StartAt on task %q in state %d", t.name(), t.state))
 	}
 	t.state = stateReady
-	t.eng.queue.Push(at, t)
+	t.eng.queue.Push(at, kev{task: t})
 }
 
 // WaitStart blocks the task's goroutine until its start event fires.
@@ -142,13 +256,16 @@ func (t *Task) Park() {
 
 // WakeAt schedules a wakeup event for a blocked task at virtual time at.
 // Only the condition-resolver that knows the task is parked may call it.
+// When the wakeup is the earliest pending event it lands in the queue's
+// front register, and the waker's next park hands the baton over without a
+// bucket operation — the direct-handoff fast path.
 func (t *Task) WakeAt(at vclock.Time) {
 	if t.state != stateBlocked {
-		panic(fmt.Sprintf("engine: WakeAt on task %q in state %d", t.name, t.state))
+		panic(fmt.Sprintf("engine: WakeAt on task %q in state %d", t.name(), t.state))
 	}
 	t.eng.unblock(t)
 	t.state = stateReady
-	t.eng.queue.Push(at, t)
+	t.eng.queue.Push(at, kev{task: t})
 }
 
 // CallAt schedules fn to run at virtual time at, holding the baton: no task
@@ -160,7 +277,25 @@ func (e *Engine) CallAt(at vclock.Time, fn func()) {
 	if fn == nil {
 		panic("engine: CallAt with nil callback")
 	}
-	e.queue.Push(at, fn)
+	var idx int32
+	if n := len(e.cbFree); n > 0 {
+		idx = e.cbFree[n-1]
+		e.cbFree = e.cbFree[:n-1]
+		e.cbs[idx] = fn
+	} else {
+		e.cbs = append(e.cbs, fn)
+		idx = int32(len(e.cbs) - 1)
+	}
+	e.queue.Push(at, kev{cb: idx + 1})
+}
+
+// runCallback executes a popped callback event and frees its registry slot.
+func (e *Engine) runCallback(cb int32) {
+	fn := e.cbs[cb-1]
+	e.cbs[cb-1] = nil
+	e.cbFree = append(e.cbFree, cb-1)
+	e.stats.Callbacks++
+	fn()
 }
 
 // Fail marks the task for teardown with the given reason: at its next
@@ -176,37 +311,72 @@ func (t *Task) Fail(at vclock.Time, reason error) {
 	if t.state == stateBlocked {
 		t.eng.unblock(t)
 		t.state = stateReady
-		t.eng.queue.Push(at, t)
+		t.eng.queue.Push(at, kev{task: t})
 	}
 }
 
+// next takes the next pending event: first from the drained same-instant
+// batch, then from the queue (draining the next instant's batch in one go).
+func (e *Engine) next() (vclock.Entry[kev], bool) {
+	if e.bi >= len(e.batch) {
+		e.batch = e.queue.PopRun(e.batch[:0])
+		e.bi = 0
+		if len(e.batch) == 0 {
+			return vclock.Entry[kev]{}, false
+		}
+	}
+	ev := e.batch[e.bi]
+	e.batch[e.bi] = vclock.Entry[kev]{} // release the task reference
+	e.bi++
+	return ev, true
+}
+
+// pendingAt reports whether an event is pending at or before virtual time
+// at — i.e. whether a wakeup scheduled at at would NOT be the next event.
+func (e *Engine) pendingAt(at vclock.Time) bool {
+	if e.bi < len(e.batch) {
+		return true // batched events precede anything pushed now
+	}
+	head, ok := e.queue.Peek()
+	return ok && head.At <= at
+}
+
 // SleepUntil schedules the task's own wakeup at virtual time at and yields.
-// If the task's event is itself the earliest pending one, it keeps the baton
-// and returns immediately — a timer that fires "next" costs two queue
-// operations and no goroutine switch. Callback events due before the wakeup
-// run inline, in order, on the way.
+// If the wakeup would be the next event anyway, the task keeps the baton:
+// when it is strictly the earliest it returns immediately without touching
+// the queue at all, and otherwise it pops its own event back — a timer that
+// fires "next" costs at most two queue operations and no goroutine switch.
+// Callback events due before the wakeup run inline, in order, on the way.
 func (t *Task) SleepUntil(at vclock.Time) {
 	e := t.eng
-	e.queue.Push(at, t)
+	if !e.pendingAt(at) {
+		// Strictly earliest: nothing can run before this wakeup, so the
+		// event need not exist. Counted as a processed, baton-keeping event.
+		e.stats.Events++
+		e.stats.Kept++
+		t.checkPoison()
+		return
+	}
+	e.queue.Push(at, kev{task: t})
 	for {
-		next, ok := e.queue.Pop()
+		ev, ok := e.next()
 		if !ok {
 			panic("engine: event queue empty after push")
 		}
 		e.stats.Events++
-		nt, isTask := next.Payload.(*Task)
-		if !isTask {
-			next.Payload.(func())()
+		if ev.Payload.task == nil {
+			e.runCallback(ev.Payload.cb)
 			continue
 		}
+		nt := ev.Payload.task
 		if nt == t {
+			e.stats.Kept++
 			t.checkPoison()
 			return // still the earliest: keep running
 		}
 		t.state = stateReady
 		e.stats.Parks++
 		e.stats.Switches++
-		e.notePeak()
 		nt.state = stateRunning
 		nt.resume <- struct{}{}
 		<-t.resume
@@ -251,18 +421,18 @@ func (e *Engine) Run() {
 // deadlock and fails the blocked tasks one by one.
 func (e *Engine) dispatch() {
 	for {
-		next, ok := e.queue.Pop()
+		ev, ok := e.next()
 		if !ok {
 			break
 		}
 		e.stats.Events++
-		if t, isTask := next.Payload.(*Task); isTask {
+		if t := ev.Payload.task; t != nil {
 			e.stats.Switches++
 			t.state = stateRunning
 			t.resume <- struct{}{}
 			return
 		}
-		next.Payload.(func())()
+		e.runCallback(ev.Payload.cb)
 	}
 	// No pending event, yet live tasks remain: every one of them is blocked.
 	// Fail them sequentially; each poisoned task panics out of Park, its job
@@ -294,17 +464,20 @@ func (e *Engine) unblock(t *Task) {
 func (t *Task) checkPoison() {
 	t.state = stateRunning
 	if t.failure != nil {
-		panic(&TaskFailure{Task: t.name, Reason: t.failure})
+		panic(&TaskFailure{Task: t.name(), Reason: t.failure})
 	}
 	if t.poison {
 		panic(fmt.Sprintf("engine: deadlock: task %q blocked with no pending events (%d tasks affected)",
-			t.name, len(t.eng.blocked)+1))
+			t.name(), len(t.eng.blocked)+1))
 	}
 }
 
-// notePeak records the high-water mark of simultaneously parked tasks.
+// notePeak records the high-water mark of simultaneously parked tasks. Only
+// tasks in the blocked set count: a ready task sitting in the event queue is
+// runnable, not parked (through PR 4 this was approximated as live-1, which
+// overcounted whenever ready tasks were queued).
 func (e *Engine) notePeak() {
-	if parked := e.live - 1; parked > e.stats.PeakParked {
+	if parked := len(e.blocked); parked > e.stats.PeakParked {
 		e.stats.PeakParked = parked
 	}
 }

@@ -9,15 +9,27 @@ import (
 // Stats counts what one kernel instance did. The global aggregate across all
 // kernels of the process (every launched job of every scenario) is available
 // through Global; deepsim -stats and cbctl run -stats print it.
+//
+// The counters satisfy Events == Switches + Kept + Callbacks on every clean
+// run: each processed event either handed the baton to another task, was
+// consumed by the task that already held it, or ran a callback.
 type Stats struct {
 	// Events is the number of events processed (task starts, wakeups,
-	// timer completions).
+	// timer completions, callbacks), baton-keeping fast paths included.
 	Events uint64
-	// Parks counts how often a task parked in the kernel.
+	// Parks counts how often a task yielded the baton in the kernel
+	// (blocking parks and sleeps that crossed tasks).
 	Parks uint64
-	// Switches counts goroutine handoffs (parks that crossed tasks).
+	// Switches counts goroutine handoffs (events that moved the baton to a
+	// different task).
 	Switches uint64
-	// PeakParked is the high-water mark of simultaneously parked tasks.
+	// Kept counts events consumed by the task already holding the baton
+	// (the SleepUntil keep-the-baton fast path): no goroutine switch.
+	Kept uint64
+	// Callbacks counts callback events (CallAt) executed.
+	Callbacks uint64
+	// PeakParked is the high-water mark of simultaneously parked tasks
+	// (tasks in the blocked set, awaiting a wakeup event).
 	PeakParked int
 	// Tasks is the number of tasks registered over the kernel's lifetime.
 	Tasks int
@@ -35,8 +47,8 @@ func (s Stats) EventsPerSec() float64 {
 
 // String renders the stats in the -stats flag format.
 func (s Stats) String() string {
-	return fmt.Sprintf("events=%d events/sec=%.0f parks=%d switches=%d peak_parked=%d tasks=%d wall=%v",
-		s.Events, s.EventsPerSec(), s.Parks, s.Switches, s.PeakParked, s.Tasks, s.Wall)
+	return fmt.Sprintf("events=%d events/sec=%.0f parks=%d switches=%d kept=%d callbacks=%d peak_parked=%d tasks=%d wall=%v",
+		s.Events, s.EventsPerSec(), s.Parks, s.Switches, s.Kept, s.Callbacks, s.PeakParked, s.Tasks, s.Wall)
 }
 
 // Process-wide aggregate, maintained with atomics: kernels finish on
@@ -46,6 +58,8 @@ var global struct {
 	events     atomic.Uint64
 	parks      atomic.Uint64
 	switches   atomic.Uint64
+	kept       atomic.Uint64
+	callbacks  atomic.Uint64
 	tasks      atomic.Uint64
 	wallNanos  atomic.Int64
 	peakParked atomic.Int64
@@ -57,6 +71,8 @@ func publishGlobal(s Stats) {
 	global.events.Add(s.Events)
 	global.parks.Add(s.Parks)
 	global.switches.Add(s.Switches)
+	global.kept.Add(s.Kept)
+	global.callbacks.Add(s.Callbacks)
 	global.tasks.Add(uint64(s.Tasks))
 	global.wallNanos.Add(int64(s.Wall))
 	for {
@@ -81,6 +97,8 @@ func Global() GlobalStats {
 			Events:     global.events.Load(),
 			Parks:      global.parks.Load(),
 			Switches:   global.switches.Load(),
+			Kept:       global.kept.Load(),
+			Callbacks:  global.callbacks.Load(),
 			PeakParked: int(global.peakParked.Load()),
 			Tasks:      int(global.tasks.Load()),
 			Wall:       time.Duration(global.wallNanos.Load()),

@@ -11,7 +11,8 @@ import (
 // (§III-D live on the kernel), then the standing sweeps. cbctl list and
 // deepsim all follow it.
 var paperOrder = []string{
-	"table1", "table2", "fig3", "fig7", "fig8", "fig8-scale", "fig-resilience",
+	"table1", "table2", "fig3", "fig7", "fig8", "fig8-scale", "fig8-scale4096",
+	"fig-resilience",
 	"sweep/fig3", "sweep/fig7", "sweep/fig8", "sweep/paper", "sweep/xpic-weak",
 }
 

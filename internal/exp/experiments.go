@@ -171,6 +171,7 @@ func init() {
 	registerFig7()
 	registerFig8()
 	registerFig8Scale()
+	registerFig8Scale4096()
 	registerFigResilience()
 	registerSweepFig3()
 	registerSweepFig7()
@@ -450,6 +451,97 @@ func registerFig8Scale() {
 			measures[fmt.Sprintf("gain_vs_booster_n%d", n)] = b / s
 		}
 		meta := profileMeta(cfg, "ci-scale")
+		return e.document(meta, measures, rs)
+	}
+	e.Render = func(d Document) (string, error) {
+		rs, err := parsePayload[sweep.ResultSet](d)
+		if err != nil {
+			return "", err
+		}
+		return rs.RenderText(), nil
+	}
+	Register(e)
+}
+
+// Scale4096Profile returns the workload of the fig8-scale4096 study: the
+// ScaleProfile geometry stretched to 8192 rows, so the grid decomposes down
+// to the 2-rows-per-rank floor at n = 4096 — the same per-rank regime the
+// fig8-scale series ends in at n = 1024, pushed another 4x. Steps and CG
+// budget are trimmed so the ~5M-event n=4096 scenarios replay in CI seconds.
+func Scale4096Profile() xpic.Config {
+	cfg := ScaleProfile()
+	cfg.NY = 8192
+	cfg.Steps = 4
+	cfg.CGMaxIter = 8
+	cfg.DiagEvery = 2
+	return cfg
+}
+
+// registerFig8Scale4096 registers the n=4096 extension of the fig8-scale
+// study: Booster-only vs C+B at 1024 and 4096 ranks per solver on the
+// stretched workload. It is a separate experiment (rather than a fifth
+// fig8-scale point) so the fig8-scale golden stays byte-identical; the
+// n=1024 point inside THIS profile is the efficiency reference. The C+B
+// scenario at n=4096 runs 8193 tasks on one kernel — the event queue holds
+// thousands of pending wakeups, the regime the calendar queue exists for.
+func registerFig8Scale4096() {
+	counts := []int{1024, 4096}
+	e := Experiment{
+		Name:    "fig8-scale4096",
+		Title:   "Beyond the prototype, 4x further: C+B vs Booster-only at n=4096",
+		Version: 1,
+		Grid:    "2 node counts (1024,4096) x 2 execution modes (Booster, C+B), pinned scale4096 workload",
+		Profile: "ci-scale4096",
+		Tolerance: map[string]float64{
+			"*": 0.02,
+		},
+		// Strong scaling at the 2-rows-per-rank floor is communication-bound
+		// and the fixed MPI_Comm_spawn cost dominates 4 trimmed steps
+		// outright (split makespans are ~26 ms of which 25 ms is spawn), so
+		// C+B loses to Booster-only here even harder than fig8-scale shows
+		// at n=1024. Measured: booster 2.87 ms / split 26.6 ms at n=4096,
+		// eff_split 0.249, gain 0.108. The bounds pin that behaviour as a
+		// regression floor.
+		Budgets: []Budget{
+			{Measure: "eff_split_n4096", Kind: MinBudget, Bound: 0.15},
+			{Measure: "gain_vs_booster_n4096", Kind: MinBudget, Bound: 0.08},
+			{Measure: "split_makespan_n4096_s", Kind: MaxBudget, Bound: 0.035},
+			{Measure: "booster_makespan_n4096_s", Kind: MaxBudget, Bound: 0.005},
+		},
+	}
+	e.Run = func(o Options) (Document, error) {
+		cfg := Scale4096Profile()
+		grid := sweep.Grid{
+			Name:       "fig8-scale4096",
+			NodeCounts: counts,
+			Modes:      []xpic.Mode{xpic.BoosterOnly, xpic.SplitCB},
+			Workloads:  []sweep.WorkloadVariant{{Name: "scale4096", Config: cfg}},
+		}
+		scen, err := grid.Scenarios()
+		if err != nil {
+			return Document{}, err
+		}
+		rs := sweep.Run(scen, sweepOpts(o))
+		if err := rs.FirstError(); err != nil {
+			return Document{}, fmt.Errorf("exp: fig8-scale4096: %w", err)
+		}
+		// Grid order: node counts outermost, then [Booster, C+B].
+		makespan := func(i int) (booster, split float64) {
+			return rs.Results[2*i].Metrics["makespan_s"], rs.Results[2*i+1].Metrics["makespan_s"]
+		}
+		b0, s0 := makespan(0)
+		n0 := float64(counts[0])
+		measures := map[string]float64{}
+		for i, n := range counts {
+			b, s := makespan(i)
+			measures[fmt.Sprintf("booster_makespan_n%d_s", n)] = b
+			measures[fmt.Sprintf("split_makespan_n%d_s", n)] = s
+			// Strong-scaling efficiency relative to the n=1024 point.
+			measures[fmt.Sprintf("eff_booster_n%d", n)] = b0 * n0 / (b * float64(n))
+			measures[fmt.Sprintf("eff_split_n%d", n)] = s0 * n0 / (s * float64(n))
+			measures[fmt.Sprintf("gain_vs_booster_n%d", n)] = b / s
+		}
+		meta := profileMeta(cfg, "ci-scale4096")
 		return e.document(meta, measures, rs)
 	}
 	e.Render = func(d Document) (string, error) {

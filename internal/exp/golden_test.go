@@ -13,6 +13,7 @@ import (
 var heavyExperiments = map[string]bool{
 	"fig8":            true,
 	"fig8-scale":      true,
+	"fig8-scale4096":  true,
 	"sweep/fig8":      true,
 	"sweep/paper":     true,
 	"sweep/xpic-weak": true,

@@ -62,8 +62,12 @@ func (p *Proc) collTag(c *Comm) int {
 }
 
 // collTagBlock is the number of reserved tags per collective invocation; it
-// bounds the number of internal rounds/steps a single collective may use.
-const collTagBlock = 1024
+// bounds the number of internal rounds/steps a single collective may use —
+// and with them the largest communicator (the ring allgather uses one tag
+// per step, so size <= block). 8192 admits the fig8-scale4096 jobs. Tag
+// values only ever matter for matching, so the block size has no timing
+// effect.
+const collTagBlock = 1 << 13
 
 // Barrier synchronises all ranks of the communicator (dissemination
 // algorithm: ⌈log2 p⌉ rounds of zero-byte messages). On return every rank's
@@ -76,25 +80,27 @@ func (p *Proc) Barrier(c *Comm) {
 	for k, round := 1, 0; k < n; k, round = k<<1, round+1 {
 		dst := (me + k) % n
 		src := (me - k + n) % n
-		req := p.sendTagged(c, dst, base+round, nil, 0, modeStandard, false)
+		req := p.sendTagged(c, dst, base+round, payload{}, 0, modeStandard, false)
 		p.recvTagged(c, src, base+round)
-		p.Wait(req)
+		p.wait(req)
 	}
 }
 
-// recvTagged is Recv for internal (reserved-tag) traffic.
-func (p *Proc) recvTagged(c *Comm, src, tag int) any {
+// recvTagged is Recv for internal (reserved-tag) traffic; it returns the
+// body unboxed.
+func (p *Proc) recvTagged(c *Comm, src, tag int) payload {
 	e := p.recvCommon(c, src, tag)
-	data := e.data
+	pl := e.pl
 	p.releaseEnv(e)
-	return data
+	return pl
 }
 
-// Bcast broadcasts data (of the given wire size) from root to all ranks using
-// a binomial tree, and returns the value each rank ends up with.
-func (p *Proc) Bcast(c *Comm, root int, data any, bytes int) any {
-	p.Stats.Collectives++
-	base := p.collTag(c)
+// bcastTree walks the binomial broadcast tree for this rank: receive once
+// from the parent (every rank but the root has exactly one), then forward
+// down the subtree in decreasing-mask order. Both broadcast flavours share
+// this traversal so the tree topology cannot diverge between them; only the
+// payload handling differs.
+func (p *Proc) bcastTree(c *Comm, root int, recv func(src int), forward func(dst int)) {
 	me := p.rankIn(c)
 	n := c.Size()
 	rel := (me - root + n) % n
@@ -102,8 +108,7 @@ func (p *Proc) Bcast(c *Comm, root int, data any, bytes int) any {
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			src := (rel - mask + root + n) % n
-			data = p.recvTagged(c, src, base)
+			recv((rel - mask + root + n) % n)
 			break
 		}
 		mask <<= 1
@@ -111,25 +116,41 @@ func (p *Proc) Bcast(c *Comm, root int, data any, bytes int) any {
 	mask >>= 1
 	for mask > 0 {
 		if rel+mask < n {
-			dst := (rel + mask + root) % n
-			p.sendTagged(c, dst, base, data, bytes, modeStandard, true)
+			forward((rel + mask + root) % n)
 		}
 		mask >>= 1
 	}
+}
+
+// Bcast broadcasts data (of the given wire size) from root to all ranks using
+// a binomial tree, and returns the value each rank ends up with.
+func (p *Proc) Bcast(c *Comm, root int, data any, bytes int) any {
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	p.bcastTree(c, root,
+		func(src int) { data = p.recvTagged(c, src, base).value() },
+		func(dst int) { p.sendTagged(c, dst, base, payload{val: data}, bytes, modeStandard, true) })
 	return data
 }
 
 // BcastF64 broadcasts a float64 slice from root; every rank receives a copy
-// into buf (root's buf is the source).
+// into buf (root's buf is the source). One pristine copy of root's buf — a
+// rank's own buf may be rewritten the moment the collective returns, so the
+// in-flight tree cannot share it — travels the whole binomial tree unboxed
+// and by reference; the single allocation per broadcast is that copy.
 func (p *Proc) BcastF64(c *Comm, root int, buf []float64) {
-	var data any
+	p.Stats.Collectives++
+	base := p.collTag(c)
+	var blk []float64
 	if p.rankIn(c) == root {
-		data = append([]float64(nil), buf...)
+		blk = append([]float64(nil), buf...)
 	}
-	out := p.Bcast(c, root, data, 8*len(buf))
-	if p.rankIn(c) != root {
-		copy(buf, out.([]float64))
-	}
+	p.bcastTree(c, root,
+		func(src int) {
+			blk = p.recvTagged(c, src, base).slice()
+			copy(buf, blk)
+		},
+		func(dst int) { p.sendTagged(c, dst, base, payload{f64: blk}, 8*len(blk), modeStandard, true) })
 }
 
 // ReduceF64 reduces buf elementwise onto root with op (binomial tree). On
@@ -153,14 +174,14 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 			srcRel := rel | mask
 			if srcRel < n {
 				src := (srcRel + root) % n
-				part := p.recvTagged(c, src, base).([]float64)
+				part := p.recvTagged(c, src, base).slice()
 				op.apply(acc, part)
 				p.l.putF64(part)
 			}
 		} else {
 			dstRel := rel &^ mask
 			dst := (dstRel + root) % n
-			p.sendTagged(c, dst, base, acc, 8*len(acc), modeStandard, true)
+			p.sendTagged(c, dst, base, payload{f64: acc}, 8*len(acc), modeStandard, true)
 			sent = true
 			break
 		}
@@ -201,7 +222,9 @@ func (p *Proc) GatherF64(c *Comm, root int, buf []float64) []float64 {
 	me := p.rankIn(c)
 	n := c.Size()
 	if me != root {
-		p.sendTagged(c, root, base, append([]float64(nil), buf...), 8*len(buf), modeStandard, true)
+		cp := p.l.getF64(len(buf))
+		copy(cp, buf)
+		p.sendTagged(c, root, base, payload{f64: cp, pooled: true}, 8*len(buf), modeStandard, true)
 		return nil
 	}
 	out := make([]float64, len(buf)*n)
@@ -217,8 +240,11 @@ func (p *Proc) GatherF64(c *Comm, root int, buf []float64) []float64 {
 		if reqs[r] == nil {
 			continue
 		}
-		data, _ := p.Wait(reqs[r])
-		copy(out[r*len(buf):], data.([]float64))
+		data, _ := p.WaitF64(reqs[r])
+		copy(out[r*len(buf):], data)
+		if reqs[r].data.pooled {
+			p.l.putF64(data)
+		}
 	}
 	return out
 }
@@ -241,14 +267,18 @@ func (p *Proc) ScatterF64(c *Comm, root int, data []float64, buf []float64) {
 				copy(buf, data[r*chunk:(r+1)*chunk])
 				continue
 			}
-			part := append([]float64(nil), data[r*chunk:(r+1)*chunk]...)
-			reqs = append(reqs, p.sendTagged(c, r, base, part, 8*chunk, modeStandard, false))
+			part := p.l.getF64(chunk)
+			copy(part, data[r*chunk:(r+1)*chunk])
+			reqs = append(reqs, p.sendTagged(c, r, base, payload{f64: part, pooled: true}, 8*chunk, modeStandard, false))
 		}
 		p.Waitall(reqs...)
 		return
 	}
-	part := p.recvTagged(c, root, base).([]float64)
-	copy(buf, part)
+	pl := p.recvTagged(c, root, base)
+	copy(buf, pl.slice())
+	if pl.pooled {
+		p.l.putF64(pl.f64)
+	}
 }
 
 // AllgatherF64 gathers equal-length contributions from all ranks to all
@@ -266,12 +296,16 @@ func (p *Proc) AllgatherF64(c *Comm, buf []float64) []float64 {
 	left := (me - 1 + n) % n
 	cur := me
 	for step := 0; step < n-1; step++ {
-		block := append([]float64(nil), out[cur*chunk:(cur+1)*chunk]...)
-		req := p.sendTagged(c, right, base+step, block, 8*chunk, modeStandard, false)
-		inBlock := p.recvTagged(c, left, base+step).([]float64)
+		block := p.l.getF64(chunk)
+		copy(block, out[cur*chunk:(cur+1)*chunk])
+		req := p.sendTagged(c, right, base+step, payload{f64: block, pooled: true}, 8*chunk, modeStandard, false)
+		in := p.recvTagged(c, left, base+step)
 		cur = (cur - 1 + n) % n
-		copy(out[cur*chunk:], inBlock)
-		p.Wait(req)
+		copy(out[cur*chunk:], in.slice())
+		if in.pooled {
+			p.l.putF64(in.f64)
+		}
+		p.wait(req)
 	}
 	return out
 }
@@ -291,11 +325,15 @@ func (p *Proc) AlltoallF64(c *Comm, data []float64, chunk int) []float64 {
 	for k := 1; k < n; k++ {
 		dst := (me + k) % n
 		src := (me - k + n) % n
-		block := append([]float64(nil), data[dst*chunk:(dst+1)*chunk]...)
-		req := p.sendTagged(c, dst, base+k, block, 8*chunk, modeStandard, false)
-		in := p.recvTagged(c, src, base+k).([]float64)
-		copy(out[src*chunk:], in)
-		p.Wait(req)
+		block := p.l.getF64(chunk)
+		copy(block, data[dst*chunk:(dst+1)*chunk])
+		req := p.sendTagged(c, dst, base+k, payload{f64: block, pooled: true}, 8*chunk, modeStandard, false)
+		in := p.recvTagged(c, src, base+k)
+		copy(out[src*chunk:], in.slice())
+		if in.pooled {
+			p.l.putF64(in.f64)
+		}
+		p.wait(req)
 	}
 	return out
 }

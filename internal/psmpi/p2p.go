@@ -8,6 +8,39 @@ import (
 	"clusterbooster/internal/vclock"
 )
 
+// payload is a message body with a tagged fast lane: []float64 — the
+// platform's dominant traffic (halo rows, moments, reduction accumulators,
+// checkpoint state) — travels in its own field, so the send path never boxes
+// a slice header into an interface (one heap allocation per send through
+// PR 4, the single largest allocation source of the kernel benchmarks).
+// Everything else rides in val. pooled marks f64 as a launch-pool buffer
+// whose sole consumer may recycle it after copying out.
+type payload struct {
+	f64    []float64
+	val    any
+	pooled bool
+}
+
+// value returns the body for the untyped receive APIs. Boxing happens here,
+// on demand, instead of on every send.
+func (pl payload) value() any {
+	if pl.f64 != nil {
+		return pl.f64
+	}
+	return pl.val
+}
+
+// slice returns the body as a []float64 for the typed receive APIs.
+func (pl payload) slice() []float64 {
+	if pl.f64 != nil {
+		return pl.f64
+	}
+	if pl.val == nil {
+		return nil
+	}
+	return pl.val.([]float64)
+}
+
 // envelope is a message in flight. Envelopes are pooled per launch: refs
 // counts the parties that still read the envelope (the receiver; plus the
 // sender for rendezvous messages, which reads the completion time resolved
@@ -17,7 +50,7 @@ type envelope struct {
 	commID    uint64
 	src       int // sender's rank in its group
 	tag       int
-	data      any
+	pl        payload
 	bytes     int
 	seq       uint64
 	refs      int8
@@ -149,8 +182,8 @@ type Request struct {
 	// recv-side
 	pr     *postedRecv
 	mb     *mailbox
-	data   any    // extracted payload, once completed
-	status Status // extracted status, once completed
+	data   payload // extracted body, once completed
+	status Status  // extracted status, once completed
 }
 
 // sendMode selects the send protocol.
@@ -164,17 +197,18 @@ const (
 // send implements all send flavours. Blocking sends wait for local completion
 // (standard mode: buffer reusable; synchronous mode: matched), non-blocking
 // sends return a Request.
-func (p *Proc) send(c *Comm, dst, tag int, data any, bytes int, mode sendMode, blocking bool) *Request {
+func (p *Proc) send(c *Comm, dst, tag int, pl payload, bytes int, mode sendMode, blocking bool) *Request {
 	if tag < 0 || tag >= MaxUserTag {
 		// Internal callers use sendTagged with reserved tags.
 		panic(fmt.Sprintf("psmpi: tag %d out of user range [0,%d)", tag, MaxUserTag))
 	}
-	return p.sendTagged(c, dst, tag, data, bytes, mode, blocking)
+	return p.sendTagged(c, dst, tag, pl, bytes, mode, blocking)
 }
 
-func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendMode, blocking bool) *Request {
-	traceStart := p.clock.Now()
-	defer p.record("send", traceStart)
+func (p *Proc) sendTagged(c *Comm, dst, tag int, pl payload, bytes int, mode sendMode, blocking bool) *Request {
+	if p.rt.trace != nil {
+		defer p.record("send", p.clock.Now())
+	}
 	target := c.target(dst)
 	// Inter-communicator traffic is staged through the MPI layer on the
 	// sending side (see Config.InterCommStagingGBs).
@@ -191,7 +225,7 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendM
 		commID:    c.id,
 		src:       p.rankIn(c),
 		tag:       tag,
-		data:      data,
+		pl:        pl,
 		bytes:     bytes,
 		seq:       p.sendSeq,
 		refs:      1, // the receiver
@@ -209,8 +243,10 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, data any, bytes int, mode sendM
 		if blocking {
 			return nil
 		}
-		// Eager sends complete locally: the request is born done.
-		return &Request{p: p, isSend: true, done: true}
+		// Eager sends complete locally: the request is born done, and since a
+		// done send request carries no state, every eager Isend of a rank
+		// shares one request struct instead of allocating.
+		return &p.eagerDone
 	}
 	e.refs++ // the sender reads the matched completion time
 	e.rts, e.injEnd = p.rt.net.RendezvousIssue(p.node, target.node, bytes, begin)
@@ -251,25 +287,40 @@ func (p *Proc) waitSendEnv(e *envelope) {
 // buffer is reusable — immediately after injection for eager messages, after
 // the transfer for rendezvous messages.
 func (p *Proc) Send(c *Comm, dst, tag int, data any, bytes int) {
-	p.send(c, dst, tag, data, bytes, modeStandard, true)
+	p.send(c, dst, tag, payload{val: data}, bytes, modeStandard, true)
 }
 
 // Isend is a non-blocking standard-mode send (MPI_Isend).
 func (p *Proc) Isend(c *Comm, dst, tag int, data any, bytes int) *Request {
-	return p.send(c, dst, tag, data, bytes, modeStandard, false)
+	return p.send(c, dst, tag, payload{val: data}, bytes, modeStandard, false)
 }
 
 // Issend is a non-blocking synchronous send (MPI_Issend): the request
 // completes only once the matching receive is posted. xPic uses this for the
 // Cluster↔Booster moment/field exchange (Listing 4 of the paper).
 func (p *Proc) Issend(c *Comm, dst, tag int, data any, bytes int) *Request {
-	return p.send(c, dst, tag, data, bytes, modeSync, false)
+	return p.send(c, dst, tag, payload{val: data}, bytes, modeSync, false)
+}
+
+// IsendF64Shared is Isend for a []float64 the caller promises not to touch
+// until the message is consumed (xPic's halo, moment and migration buffers
+// follow this discipline by protocol order). The slice travels by reference
+// and unboxed: no copy, no allocation.
+func (p *Proc) IsendF64Shared(c *Comm, dst, tag int, buf []float64) *Request {
+	return p.send(c, dst, tag, payload{f64: buf}, 8*len(buf), modeStandard, false)
+}
+
+// IssendF64Shared is Issend with the same shared-buffer contract as
+// IsendF64Shared.
+func (p *Proc) IssendF64Shared(c *Comm, dst, tag int, buf []float64) *Request {
+	return p.send(c, dst, tag, payload{f64: buf}, 8*len(buf), modeSync, false)
 }
 
 // recvCommon matches a message, timing the receive. Returns the envelope.
 func (p *Proc) recvCommon(c *Comm, src, tag int) *envelope {
-	traceStart := p.clock.Now()
-	defer p.record("recv", traceStart)
+	if p.rt.trace != nil {
+		defer p.record("recv", p.clock.Now())
+	}
 	mb := p.mbox
 	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
 		p.completeRecvUnexpected(e)
@@ -364,16 +415,39 @@ func (p *Proc) stageInterRecv(e *envelope) {
 // its status. src may be AnySource and tag may be AnyTag.
 func (p *Proc) Recv(c *Comm, src, tag int) (any, Status) {
 	e := p.recvCommon(c, src, tag)
-	data, st := e.data, Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	data, st := e.pl.value(), Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
 	p.releaseEnv(e)
 	return data, st
+}
+
+// RecvF64Shared is a blocking receive of a []float64 payload, returned by
+// reference and unboxed: the caller reads it but must not retain it past the
+// sender's reuse point (the shared-buffer contract of IsendF64Shared).
+func (p *Proc) RecvF64Shared(c *Comm, src, tag int) ([]float64, Status) {
+	e := p.recvCommon(c, src, tag)
+	v, st := e.pl.slice(), Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	p.releaseEnv(e)
+	return v, st
+}
+
+// newPR takes a posting record from the rank's free list (or allocates one);
+// Wait returns completed records to it.
+func (p *Proc) newPR() *postedRecv {
+	if n := len(p.prFree); n > 0 {
+		pr := p.prFree[n-1]
+		p.prFree[n-1] = nil
+		p.prFree = p.prFree[:n-1]
+		return pr
+	}
+	return &postedRecv{}
 }
 
 // Irecv posts a non-blocking receive (MPI_Irecv); complete it with Wait.
 func (p *Proc) Irecv(c *Comm, src, tag int) *Request {
 	mb := p.mbox
 	req := &Request{p: p, mb: mb}
-	pr := &postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
+	pr := p.newPR()
+	*pr = postedRecv{commID: c.id, src: src, tag: tag, posted: p.clock.Now()}
 	req.pr = pr
 	if e := mb.takeUnexpected(c.id, src, tag); e != nil {
 		completeMatch(pr, e, p)
@@ -390,34 +464,56 @@ type Status struct {
 	Bytes  int
 }
 
-// Wait blocks until the request completes (MPI_Wait) and returns the received
-// payload and status for receives (nil payload for sends).
-func (p *Proc) Wait(req *Request) (any, Status) {
+// wait drives the request to completion without extracting a typed body.
+func (p *Proc) wait(req *Request) {
 	if req.p != p {
 		panic("psmpi: waiting on another rank's request")
 	}
-	traceStart := p.clock.Now()
-	defer p.record("wait", traceStart)
+	if p.rt.trace != nil {
+		defer p.record("wait", p.clock.Now())
+	}
 	if req.isSend {
 		p.waitSend(req)
-		return nil, Status{}
+		return
 	}
 	pr := req.pr
-	if !req.done {
-		if !pr.done {
-			pr.waiter = p.task
-			p.task.Park()
-		}
-		req.mb.removePosted(pr)
-		p.completeRecvPosted(pr)
-		e := pr.env
-		req.data = e.data
-		req.status = Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
-		pr.env = nil
-		p.releaseEnv(e)
-		req.done = true
+	if req.done {
+		return
 	}
-	return req.data, req.status
+	if !pr.done {
+		pr.waiter = p.task
+		p.task.Park()
+	}
+	req.mb.removePosted(pr)
+	p.completeRecvPosted(pr)
+	e := pr.env
+	req.data = e.pl
+	req.status = Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
+	*pr = postedRecv{}
+	p.prFree = append(p.prFree, pr)
+	req.pr = nil
+	p.releaseEnv(e)
+	req.done = true
+}
+
+// Wait blocks until the request completes (MPI_Wait) and returns the received
+// payload and status for receives (nil payload for sends).
+func (p *Proc) Wait(req *Request) (any, Status) {
+	p.wait(req)
+	if req.isSend {
+		return nil, Status{}
+	}
+	return req.data.value(), req.status
+}
+
+// WaitF64 is Wait for receives of []float64 payloads, returned by reference
+// and unboxed (the shared-buffer contract of IsendF64Shared applies).
+func (p *Proc) WaitF64(req *Request) ([]float64, Status) {
+	p.wait(req)
+	if req.isSend {
+		return nil, Status{}
+	}
+	return req.data.slice(), req.status
 }
 
 // Waitall completes all requests (MPI_Waitall).
@@ -429,31 +525,47 @@ func (p *Proc) Waitall(reqs ...*Request) {
 	}
 }
 
+// sendF64Copy implements the copying F64 send flavours: the copy comes from
+// the launch's buffer pool and is marked for recycling by its sole consumer
+// (RecvF64 returns it to the pool after copying out), so the steady-state
+// F64 traffic of a job allocates nothing.
+func (p *Proc) sendF64Copy(c *Comm, dst, tag int, buf []float64, mode sendMode, blocking bool) *Request {
+	cp := p.l.getF64(len(buf))
+	copy(cp, buf)
+	return p.send(c, dst, tag, payload{f64: cp, pooled: true}, 8*len(buf), mode, blocking)
+}
+
 // SendF64 copies and sends a []float64 payload; the wire size is 8 bytes per
 // element. The copy gives MPI value semantics: the caller may reuse buf
 // immediately.
 func (p *Proc) SendF64(c *Comm, dst, tag int, buf []float64) {
-	p.Send(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+	p.sendF64Copy(c, dst, tag, buf, modeStandard, true)
 }
 
 // IsendF64 is the non-blocking variant of SendF64.
 func (p *Proc) IsendF64(c *Comm, dst, tag int, buf []float64) *Request {
-	return p.Isend(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+	return p.sendF64Copy(c, dst, tag, buf, modeStandard, false)
 }
 
 // IssendF64 is the synchronous non-blocking variant of SendF64.
 func (p *Proc) IssendF64(c *Comm, dst, tag int, buf []float64) *Request {
-	return p.Issend(c, dst, tag, append([]float64(nil), buf...), 8*len(buf))
+	return p.sendF64Copy(c, dst, tag, buf, modeSync, false)
 }
 
 // RecvF64 receives a []float64 payload into buf (which must be large enough)
-// and returns the element count.
+// and returns the element count. Pool-copied payloads (the SendF64 family)
+// are recycled here — the receiver is their last reader.
 func (p *Proc) RecvF64(c *Comm, src, tag int, buf []float64) (int, Status) {
-	data, st := p.Recv(c, src, tag)
-	v := data.([]float64)
+	e := p.recvCommon(c, src, tag)
+	v := e.pl.slice()
+	st := Status{Source: e.src, Tag: e.tag, Bytes: e.bytes}
 	n := copy(buf, v)
 	if n < len(v) {
 		panic(fmt.Sprintf("psmpi: receive buffer too small: %d < %d", len(buf), len(v)))
 	}
+	if e.pl.pooled {
+		p.l.putF64(v)
+	}
+	p.releaseEnv(e)
 	return n, st
 }

@@ -1,8 +1,6 @@
 package psmpi
 
 import (
-	"fmt"
-
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
@@ -53,6 +51,11 @@ type Proc struct {
 	// recvScratch is the reusable posting record of blocking receives (at
 	// most one is pending per rank — a rank is single-threaded).
 	recvScratch postedRecv
+	// prFree recycles Irecv posting records (returned by Wait).
+	prFree []*postedRecv
+	// eagerDone is the shared born-done request every eager Isend returns
+	// (a completed send request carries no state).
+	eagerDone Request
 	// scalarBuf is AllreduceScalar's reusable one-element working buffer.
 	scalarBuf []float64
 
@@ -62,17 +65,19 @@ type Proc struct {
 }
 
 func newProc(rt *Runtime, l *launch, node *machine.Node, rank int, args any) *Proc {
-	return &Proc{
+	p := &Proc{
 		rt:       rt,
 		l:        l,
 		node:     node,
 		clock:    vclock.NewClock(0),
-		task:     l.eng.NewTask(fmt.Sprintf("rank %d @ %s", rank, node.Name())),
+		task:     l.eng.NewRankTask(rank, node.Name()),
 		mbox:     newMailbox(),
 		rank:     rank,
 		args:     args,
 		commRank: map[uint64]int{},
 	}
+	p.eagerDone = Request{p: p, isSend: true, done: true}
+	return p
 }
 
 // Rank returns this process's rank in its world communicator.
@@ -107,7 +112,9 @@ func (p *Proc) Compute(w machine.Work) {
 	d := p.node.Spec.ComputeTime(w)
 	p.clock.Advance(d)
 	p.Stats.ComputeTime += d
-	p.record(traceComputeName(w.Class), start)
+	if p.rt.trace != nil {
+		p.record(traceComputeName(w.Class), start)
+	}
 }
 
 // Elapse advances the clock by an externally computed duration (device I/O,

@@ -303,10 +303,14 @@ func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 		})
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if len(l.errs) > 0 {
 		res.Err = errors.Join(l.errs...)
 	}
+	l.mu.Unlock()
+	// Every rank goroutine has exited and all results are extracted: the
+	// kernel (queue buckets, task structs, resume channels) goes back to the
+	// pool for the next launch of the process.
+	l.eng.Recycle()
 	return res, res.Err
 }
 

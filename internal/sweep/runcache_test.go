@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"clusterbooster/internal/scr"
+	"clusterbooster/internal/xpic"
+)
+
+// cacheTestConfig is a seconds-scale workload that decomposes for 1, 2 and
+// 4 ranks per solver.
+func cacheTestConfig() xpic.Config {
+	cfg := xpic.QuickConfig(6)
+	cfg.ParticleScale = 32
+	return cfg
+}
+
+// cacheTestScenarios builds a grid with deliberate compute-phase sharing:
+// the SCR axis re-prices checkpoints over the same compute runs, and the
+// whole grid is listed twice under different names, so a correct cache
+// computes each distinct (n, mode) point exactly once.
+func cacheTestScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	g := Grid{
+		Name:       "cachetest",
+		NodeCounts: []int{1, 2},
+		Modes:      []xpic.Mode{xpic.BoosterOnly, xpic.SplitCB},
+		Workloads:  []WorkloadVariant{{Name: "q", Config: cacheTestConfig()}},
+		SCRs: []SCRVariant{
+			{Name: "scr=none"},
+			{Name: "scr=local", Spec: CheckpointAt(scr.LevelLocal)},
+			{Name: "scr=buddy", Spec: CheckpointAt(scr.LevelBuddy)},
+		},
+	}
+	scen, err := g.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scen {
+		scen = append(scen, Scenario{Name: fmt.Sprintf("again/%d", i), Run: s.Run})
+	}
+	return scen
+}
+
+// runToJSON executes the scenarios and returns the canonical JSON bytes.
+func runToJSON(t *testing.T, scen []Scenario, workers int) []byte {
+	t.Helper()
+	rs := Run(scen, Options{Workers: workers})
+	if err := rs.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunCacheTransparency is the cache's core property: the bytes a sweep
+// emits are identical with the cache off (every scenario boots and runs its
+// own system, the pre-cache behaviour) and with the cache on, under any
+// worker count — even though the cached path runs each distinct compute
+// configuration once, on a storage-less system, and prices checkpoints on a
+// fresh storage stack.
+func TestRunCacheTransparency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario xpic grids are seconds of host time")
+	}
+	scen := cacheTestScenarios(t)
+
+	SetRunCache(false)
+	defer SetRunCache(true)
+	want := runToJSON(t, scen, 1)
+
+	for _, workers := range []int{1, 3, 8} {
+		SetRunCache(true)
+		ResetRunCache()
+		got := runToJSON(t, scen, workers)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("cached run (workers=%d) diverges from uncached bytes", workers)
+		}
+		st := RunCacheStats()
+		// 12 grid scenarios + 12 aliases share 4 distinct compute points
+		// (2 node counts x 2 modes).
+		if st.Misses != 4 {
+			t.Fatalf("cache misses = %d, want 4 distinct compute points", st.Misses)
+		}
+		if st.Hits != uint64(len(scen))-4 {
+			t.Fatalf("cache hits = %d, want %d", st.Hits, len(scen)-4)
+		}
+	}
+}
+
+// TestRunCacheKeySensitivity: every compute-relevant axis must change the
+// key; the SCR axis must not.
+func TestRunCacheKeySensitivity(t *testing.T) {
+	base := XPicPoint{NodesPerSolver: 2, Mode: xpic.BoosterOnly, Workload: cacheTestConfig()}
+	k0 := base.computeKey()
+
+	p := base
+	p.NodesPerSolver = 4
+	if p.computeKey() == k0 {
+		t.Fatal("node count does not change the cache key")
+	}
+	p = base
+	p.Mode = xpic.SplitCB
+	if p.computeKey() == k0 {
+		t.Fatal("mode does not change the cache key")
+	}
+	p = base
+	p.Workload.Steps++
+	if p.computeKey() == k0 {
+		t.Fatal("workload does not change the cache key")
+	}
+	p = base
+	p.Fabric.WireLatency = 1e-6
+	if p.computeKey() == k0 {
+		t.Fatal("fabric config does not change the cache key")
+	}
+	p = base
+	p.MPI.SpawnOverhead = 1e-3
+	if p.computeKey() == k0 {
+		t.Fatal("MPI config does not change the cache key")
+	}
+	p = base
+	p.SCR = CheckpointAt(scr.LevelBuddy)
+	if p.computeKey() != k0 {
+		t.Fatal("SCR axis changes the cache key (checkpoints are priced after the run and must share the compute phase)")
+	}
+}

@@ -1,0 +1,392 @@
+package vclock
+
+// CalQueue is a calendar queue (R. Brown, CACM 1988): a priority queue of
+// timestamped entries with amortized O(1) push and pop, replacing the binary
+// heap that backed the event queue through PR 3. Entries are hashed into a
+// ring of time buckets of equal width; each bucket is kept sorted by
+// (At, Seq), so the stable schedule-order FIFO tiebreak of the heap is
+// preserved exactly — see DESIGN.md ("Calendar-queue determinism") for the
+// ordering argument. The queue resizes its bucket ring as the population
+// grows and shrinks, re-estimating the bucket width from the live entries.
+//
+// Three properties matter beyond the classic design:
+//
+//   - Stability. Every entry carries a queue-assigned sequence number and
+//     buckets order by (At, Seq), so equal-time entries pop in schedule
+//     order. The discrete-event kernel's determinism rests on this.
+//
+//   - Integer year arithmetic. Membership of an entry in the pop scan's
+//     current window is decided by the same floor(at/width) computation that
+//     assigned its bucket, never by comparing against an accumulated
+//     floating-point bound — the rounding mismatch between the two is the
+//     classic way float-timed calendar queues mis-order entries.
+//
+//   - A one-slot front register. An entry pushed into an otherwise empty
+//     queue is held out of the bucket ring, as is any later push that is
+//     strictly earlier than it. The dominant kernel pattern — wake one task,
+//     then park so it runs — drains the queue to empty and refills it one
+//     event at a time, so in that regime push and pop never touch a bucket.
+//     This is the queue half of the engine's direct-handoff fast path.
+//
+// CalQueue is generic over the payload so the engine can store its tagged
+// event record inline (task pointer / callback index) with no interface
+// boxing and no per-event allocation: pushing into a warm queue reuses
+// bucket capacity, so steady-state event traffic allocates nothing.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type CalQueue[P any] struct {
+	n   int    // live entries, front register included
+	seq uint64 // last assigned sequence number
+
+	front    Entry[P] // earliest entry, held out of the ring
+	hasFront bool
+
+	buckets [][]Entry[P] // ring of per-width buckets, each sorted by (At, Seq)
+	heads   []int        // per-bucket index of the first live entry
+	mask    int          // len(buckets)-1; bucket count is a power of two
+	width   Time         // virtual-time width of one bucket
+
+	year    int64 // absolute bucket index floor(at/width) the pop scan stands on
+	maxLive int   // high-water ring population since the last Reset
+}
+
+// Entry is one queued occurrence: a payload due at a virtual time, with the
+// queue-assigned schedule order Seq as the stable tiebreak.
+type Entry[P any] struct {
+	At      Time
+	Seq     uint64
+	Payload P
+}
+
+// before orders entries by (At, Seq).
+func (e Entry[P]) before(o Entry[P]) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.Seq < o.Seq
+}
+
+// minBuckets is the smallest ring; rings grow and shrink by doubling.
+const minBuckets = 4
+
+// Len returns the number of pending entries.
+func (q *CalQueue[P]) Len() int { return q.n }
+
+// Push schedules payload at time at and returns the entry's sequence number.
+func (q *CalQueue[P]) Push(at Time, payload P) uint64 {
+	q.seq++
+	e := Entry[P]{At: at, Seq: q.seq, Payload: payload}
+	q.n++
+	switch {
+	case q.n == 1:
+		// Empty queue: the entry is the minimum by definition.
+		q.front, q.hasFront = e, true
+	case q.hasFront && at < q.front.At:
+		// Strictly earlier than the register: the register entry goes back
+		// to the ring and the newcomer takes its place. (Equal times keep
+		// the register — its Seq is smaller, so it still pops first.)
+		old := q.front
+		q.front = e
+		q.insert(old)
+	default:
+		q.insert(e)
+	}
+	return q.seq
+}
+
+// insert places an entry into its ring bucket, keeping the bucket sorted by
+// (At, Seq), and repositions the pop scan if the entry landed before it.
+func (q *CalQueue[P]) insert(e Entry[P]) {
+	if q.buckets == nil {
+		q.resize(minBuckets, e.At)
+	} else if live := q.ringLive(); live > 2*len(q.buckets) && len(q.buckets) < 1<<20 {
+		q.resize(len(q.buckets)*2, e.At)
+	}
+	if live := q.ringLive(); live > q.maxLive {
+		q.maxLive = live
+	}
+	y := q.yearOf(e.At)
+	b := int(y) & q.mask
+	s := q.buckets[b]
+	h := q.heads[b]
+
+	// Find the insertion point from the back: most pushes are the latest
+	// entry of their bucket, and FIFO ties always append, so this is O(1)
+	// in steady state.
+	i := len(s)
+	for i > h && e.before(s[i-1]) {
+		i--
+	}
+	switch {
+	case i == h && h > 0:
+		// Earlier than every live entry: reuse the dead slot before the head.
+		q.heads[b] = h - 1
+		s[h-1] = e
+	case i == len(s):
+		q.buckets[b] = append(s, e)
+	default:
+		s = append(s, Entry[P]{})
+		copy(s[i+1:], s[i:])
+		s[i] = e
+		q.buckets[b] = s
+	}
+
+	// An entry due before the pop scan's current year restarts the scan at
+	// its own year, or the scan would walk past it.
+	if y < q.year {
+		q.year = y
+	}
+}
+
+// ringLive returns the number of live entries in the bucket ring (the
+// population the ring is sized against; the front register lives outside).
+func (q *CalQueue[P]) ringLive() int {
+	if q.hasFront {
+		return q.n - 1
+	}
+	return q.n
+}
+
+// yearOf maps a time to its absolute bucket index floor(at/width). The
+// result is saturated to a safe int64 range; with the clamped minimum bucket
+// width this only triggers beyond ~10^6 virtual seconds, far past any
+// simulated makespan.
+func yearOf(at, width Time) int64 {
+	d := float64(at) / float64(width)
+	switch {
+	case d >= maxYear:
+		return int64(maxYear)
+	case d <= -maxYear:
+		return -int64(maxYear)
+	}
+	f := int64(d)
+	if float64(f) > d {
+		f--
+	}
+	return f
+}
+
+const maxYear = 1 << 62
+
+func (q *CalQueue[P]) yearOf(at Time) int64 { return yearOf(at, q.width) }
+
+// Pop removes and returns the earliest entry (by time, then schedule order).
+// ok is false on an empty queue.
+func (q *CalQueue[P]) Pop() (e Entry[P], ok bool) {
+	if q.n == 0 {
+		return Entry[P]{}, false
+	}
+	q.n--
+	if q.hasFront {
+		e = q.front
+		q.front = Entry[P]{} // release payload reference
+		q.hasFront = false
+		return e, true
+	}
+	b := q.scan()
+	s, h := q.buckets[b], q.heads[b]
+	e = s[h]
+	s[h] = Entry[P]{} // release payload reference
+	if h+1 == len(s) {
+		q.buckets[b] = s[:0]
+		q.heads[b] = 0
+	} else {
+		q.heads[b] = h + 1
+	}
+	return e, true
+}
+
+// PopRun removes the earliest entry plus every further entry due at exactly
+// the same virtual time, appending them to buf in (At, Seq) order, and
+// returns the extended buffer. This is the wakeup-batching primitive: a
+// collective fan-out that woke a whole tree level at one instant drains in
+// one call, and the kernel hands the baton down the batch without touching
+// the queue again. An empty queue returns buf unchanged.
+func (q *CalQueue[P]) PopRun(buf []Entry[P]) []Entry[P] {
+	first, ok := q.Pop()
+	if !ok {
+		return buf
+	}
+	buf = append(buf, first)
+	for {
+		head, ok := q.Peek()
+		if !ok || head.At != first.At {
+			return buf
+		}
+		e, _ := q.Pop()
+		buf = append(buf, e)
+	}
+}
+
+// Reset empties the queue, releasing every payload reference but keeping the
+// bucket ring and its capacity (and the calibrated width) for reuse — a
+// recycled kernel's queue starts warm. The ring never shrinks mid-run (a
+// population that oscillates around a resize threshold would thrash
+// reallocation); instead Reset drops a ring the run's own high-water mark
+// never justified, so a pooled queue recalibrates to its next job's scale.
+// The sequence counter restarts.
+func (q *CalQueue[P]) Reset() {
+	q.front = Entry[P]{}
+	q.hasFront = false
+	if len(q.buckets) > 4*max(minBuckets, 2*q.maxLive) {
+		q.buckets = nil
+		q.heads = nil
+		q.mask = 0
+		q.width = 0
+	}
+	for b, s := range q.buckets {
+		live := s[q.heads[b]:]
+		for i := range live {
+			live[i] = Entry[P]{}
+		}
+		q.buckets[b] = s[:0]
+		q.heads[b] = 0
+	}
+	q.n = 0
+	q.seq = 0
+	q.year = 0
+	q.maxLive = 0
+}
+
+// Peek returns the earliest entry without removing it.
+func (q *CalQueue[P]) Peek() (e Entry[P], ok bool) {
+	if q.n == 0 {
+		return Entry[P]{}, false
+	}
+	if q.hasFront {
+		return q.front, true
+	}
+	b := q.scan()
+	return q.buckets[b][q.heads[b]], true
+}
+
+// scan advances the calendar scan to the bucket holding the earliest entry
+// and returns its ring index. The ring is non-empty (callers ensure it).
+//
+// The classic calendar walk: starting from the scan year, a bucket's head
+// entry is the global minimum iff its own year equals the scan year. After a
+// full fruitless cycle every live entry lies beyond the ring's horizon
+// (sparse queue); the minimum is then found directly over the bucket heads —
+// each head is its bucket's minimum, because buckets are sorted — and the
+// scan jumps to its year.
+func (q *CalQueue[P]) scan() int {
+	for range q.buckets {
+		b := int(q.year) & q.mask
+		s, h := q.buckets[b], q.heads[b]
+		if h < len(s) && q.yearOf(s[h].At) == q.year {
+			return b
+		}
+		q.year++
+	}
+	best, found := 0, false
+	var min Entry[P]
+	for b, s := range q.buckets {
+		h := q.heads[b]
+		if h == len(s) {
+			continue
+		}
+		if !found || s[h].before(min) {
+			best, min, found = b, s[h], true
+		}
+	}
+	if !found {
+		panic("vclock: calendar queue scan on empty ring")
+	}
+	q.year = q.yearOf(min.At)
+	return best
+}
+
+// resize rebuilds the ring with nb buckets and a width re-estimated from the
+// live entries, rehashing everything and restarting the scan at the minimum.
+// seed stands in for the minimum when the ring is empty.
+func (q *CalQueue[P]) resize(nb int, seed Time) {
+	old := q.buckets
+	oldHeads := q.heads
+	q.width = q.estimateWidth(old, oldHeads, seed)
+	q.buckets = make([][]Entry[P], nb)
+	q.heads = make([]int, nb)
+	q.mask = nb - 1
+
+	min, any := seed, false
+	for b, s := range old {
+		for _, e := range s[oldHeads[b]:] {
+			if !any || e.At < min {
+				min, any = e.At, true
+			}
+		}
+	}
+	q.year = q.yearOf(min)
+	for b, s := range old {
+		for _, e := range s[oldHeads[b]:] {
+			q.rehash(e)
+		}
+	}
+}
+
+// rehash is insert without resize/scan maintenance, used while rebuilding.
+func (q *CalQueue[P]) rehash(e Entry[P]) {
+	b := int(q.yearOf(e.At)) & q.mask
+	s := q.buckets[b]
+	i := len(s)
+	for i > 0 && e.before(s[i-1]) {
+		i--
+	}
+	if i == len(s) {
+		q.buckets[b] = append(s, e)
+		return
+	}
+	s = append(s, Entry[P]{})
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	q.buckets[b] = s
+}
+
+// minWidth bounds the bucket width from below so year indices stay inside
+// the saturation range for any realistic virtual time.
+const minWidth = Time(1e-12)
+
+// estimateWidth picks the bucket width: three times the mean spacing of a
+// sample of live entries (Brown's rule of thumb), so a bucket holds a
+// handful of entries on average. Degenerate spreads (all entries at one
+// instant) keep the previous width — that instant's bucket then simply
+// holds everything, which sorted insertion handles at O(1) per FIFO append.
+func (q *CalQueue[P]) estimateWidth(old [][]Entry[P], oldHeads []int, seed Time) Time {
+	const sampleCap = 64
+	lo, hi := seed, seed
+	count := 0
+	note := func(at Time) {
+		if count == 0 {
+			lo, hi = at, at
+		} else {
+			if at < lo {
+				lo = at
+			}
+			if at > hi {
+				hi = at
+			}
+		}
+		count++
+	}
+	if q.hasFront {
+		note(q.front.At)
+	}
+sample:
+	for b, s := range old {
+		for _, e := range s[oldHeads[b]:] {
+			note(e.At)
+			if count >= sampleCap {
+				break sample
+			}
+		}
+	}
+	if count >= 2 && hi > lo {
+		if w := 3 * (hi - lo) / Time(count); w > minWidth {
+			return w
+		}
+		return minWidth
+	}
+	if q.width > 0 {
+		return q.width
+	}
+	return Microsecond
+}

@@ -7,6 +7,12 @@ package vclock
 // That stability is what makes event ordering — and therefore the whole
 // simulation — deterministic by construction: no host-scheduling decision
 // ever influences which event pops first.
+//
+// The queue is a calendar queue (see CalQueue) with amortized O(1) push and
+// pop; through PR 3 it was a binary heap, whose O(log n) sift dominated the
+// kernel hot path at fig8-scale event counts. The heap survives in
+// events_oracle_test.go as the differential oracle proving the replacement
+// pops the exact same order.
 
 // Event is one scheduled occurrence: a payload due at a virtual time. Seq is
 // the queue-assigned schedule order, unique per queue.
@@ -16,86 +22,40 @@ type Event struct {
 	Payload any
 }
 
-// before orders events by (At, Seq): earlier virtual time first, earlier
-// schedule order among equal times.
-func (e Event) before(o Event) bool {
-	if e.At != o.At {
-		return e.At < o.At
-	}
-	return e.Seq < o.Seq
-}
-
-// EventQueue is a min-heap of Events ordered by (At, Seq). The zero value is
-// an empty queue ready to use. It is not safe for concurrent use; the
-// execution kernel serialises access by construction.
+// EventQueue is a priority queue of Events ordered by (At, Seq): earliest
+// virtual time first, earlier schedule order among equal times. The zero
+// value is an empty queue ready to use. It is not safe for concurrent use;
+// the execution kernel serialises access by construction.
+//
+// The engine itself runs on CalQueue directly with its tagged event record;
+// EventQueue is the boxed-payload form for tooling and tests.
 type EventQueue struct {
-	h   []Event
-	seq uint64
+	q CalQueue[any]
 }
 
 // Len returns the number of pending events.
-func (q *EventQueue) Len() int { return len(q.h) }
+func (q *EventQueue) Len() int { return q.q.Len() }
 
 // Push schedules payload at time at and returns the event's sequence number.
 func (q *EventQueue) Push(at Time, payload any) uint64 {
-	q.seq++
-	e := Event{At: at, Seq: q.seq, Payload: payload}
-	q.h = append(q.h, e)
-	q.up(len(q.h) - 1)
-	return e.Seq
+	return q.q.Push(at, payload)
 }
 
 // Pop removes and returns the earliest event (by time, then schedule order).
 // ok is false on an empty queue.
 func (q *EventQueue) Pop() (e Event, ok bool) {
-	if len(q.h) == 0 {
+	entry, ok := q.q.Pop()
+	if !ok {
 		return Event{}, false
 	}
-	e = q.h[0]
-	last := len(q.h) - 1
-	q.h[0] = q.h[last]
-	q.h[last] = Event{} // release payload reference
-	q.h = q.h[:last]
-	if last > 0 {
-		q.down(0)
-	}
-	return e, true
+	return Event{At: entry.At, Seq: entry.Seq, Payload: entry.Payload}, true
 }
 
 // Peek returns the earliest event without removing it.
 func (q *EventQueue) Peek() (e Event, ok bool) {
-	if len(q.h) == 0 {
+	entry, ok := q.q.Peek()
+	if !ok {
 		return Event{}, false
 	}
-	return q.h[0], true
-}
-
-func (q *EventQueue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.h[i].before(q.h[parent]) {
-			return
-		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
-		i = parent
-	}
-}
-
-func (q *EventQueue) down(i int) {
-	n := len(q.h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && q.h[l].before(q.h[min]) {
-			min = l
-		}
-		if r < n && q.h[r].before(q.h[min]) {
-			min = r
-		}
-		if min == i {
-			return
-		}
-		q.h[i], q.h[min] = q.h[min], q.h[i]
-		i = min
-	}
+	return Event{At: entry.At, Seq: entry.Seq, Payload: entry.Payload}, true
 }

@@ -1,0 +1,160 @@
+package vclock
+
+import "testing"
+
+// heapQueue is the binary-heap event queue that backed EventQueue from PR 3
+// until the calendar queue replaced it. It is kept verbatim as the
+// differential oracle: FuzzEventQueueVsHeap drives both structures with the
+// same op stream (including the whole checked-in FuzzEventQueue corpus,
+// which shares its input format) and demands identical pops, proving the
+// replacement preserves the (At, Seq) order — and with it the kernel's
+// deterministic schedule — exactly.
+type heapQueue struct {
+	h   []Event
+	seq uint64
+}
+
+func (q *heapQueue) Len() int { return len(q.h) }
+
+func (q *heapQueue) Push(at Time, payload any) uint64 {
+	q.seq++
+	e := Event{At: at, Seq: q.seq, Payload: payload}
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
+	return e.Seq
+}
+
+func (q *heapQueue) Pop() (e Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	e = q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Event{}
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return e, true
+}
+
+func (q *heapQueue) Peek() (e Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+func (e Event) before(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.Seq < o.Seq
+}
+
+func (q *heapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *heapQueue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.h[l].before(q.h[min]) {
+			min = l
+		}
+		if r < n && q.h[r].before(q.h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
+
+// runDifferential drives the calendar-backed EventQueue and the heap oracle
+// with the same op stream (the FuzzEventQueue encoding: bytes >= 0xF0 pop,
+// everything else pushes a time from the tie-heavy alphabet) and fails on
+// the first divergence. After the stream, both queues are drained and must
+// agree entry for entry.
+func runDifferential(t *testing.T, ops []byte) {
+	t.Helper()
+	var cal EventQueue
+	var heap heapQueue
+	step := func(op int) {
+		ce, cok := cal.Pop()
+		he, hok := heap.Pop()
+		if cok != hok {
+			t.Fatalf("op %d: calendar pop ok=%v, heap ok=%v", op, cok, hok)
+		}
+		if cok && (ce.At != he.At || ce.Seq != he.Seq) {
+			t.Fatalf("op %d: calendar popped (%v, seq %d), heap (%v, seq %d)",
+				op, ce.At, ce.Seq, he.At, he.Seq)
+		}
+	}
+	for i, op := range ops {
+		if op >= 0xF0 {
+			step(i)
+			continue
+		}
+		at := fuzzTimes[int(op)%len(fuzzTimes)]
+		cs := cal.Push(at, nil)
+		hs := heap.Push(at, nil)
+		if cs != hs {
+			t.Fatalf("op %d: calendar seq %d, heap seq %d", i, cs, hs)
+		}
+		if cal.Len() != heap.Len() {
+			t.Fatalf("op %d: calendar len %d, heap len %d", i, cal.Len(), heap.Len())
+		}
+	}
+	for cal.Len() > 0 || heap.Len() > 0 {
+		step(-1)
+	}
+}
+
+// FuzzEventQueueVsHeap is the differential fuzzer: calendar queue vs the
+// retired heap, same ops, identical pops.
+func FuzzEventQueueVsHeap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 0xF0, 0xF1, 4, 5, 0xFF})
+	f.Add([]byte{0, 0, 0, 0xF0, 0xF0, 0xF0, 0xF0})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 0xF8, 0xF8, 0xF8, 0xF8, 0xF8, 0xF8, 0xF8, 0xF8})
+	f.Fuzz(runDifferential)
+}
+
+// TestEventQueueVsHeapPatterns replays kernel-shaped op patterns through the
+// differential harness: monotone pushes (timer-like), drain-to-empty cycles
+// (the front-register regime), same-instant bursts (collective fan-out), and
+// population swings big enough to force calendar resizes both ways.
+func TestEventQueueVsHeapPatterns(t *testing.T) {
+	patterns := map[string][]byte{
+		"monotone":     {0, 2, 4, 5, 0xF0, 0xF0, 0xF0, 0xF0},
+		"pingpong":     {0, 0xF0, 1, 0xF0, 2, 0xF0, 3, 0xF0, 4, 0xF0},
+		"same-instant": {1, 1, 1, 1, 1, 1, 1, 1, 0xF0, 0xF0, 1, 1, 0xF0},
+	}
+	var grow []byte
+	for i := 0; i < 300; i++ {
+		grow = append(grow, byte(i%8))
+	}
+	for i := 0; i < 280; i++ {
+		grow = append(grow, 0xF0)
+	}
+	for i := 0; i < 64; i++ {
+		grow = append(grow, byte(i%8), 0xF0, 0xF0)
+	}
+	patterns["resize-swing"] = grow
+	for name, ops := range patterns {
+		t.Run(name, func(t *testing.T) { runDifferential(t, ops) })
+	}
+}

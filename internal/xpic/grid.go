@@ -167,12 +167,12 @@ func (g *Grid) ExchangeHalos(p *psmpi.Proc, comm *psmpi.Comm, names ...string) {
 	// Top real row travels up (becomes up-neighbour's ghost 0);
 	// bottom real row travels down (becomes down-neighbour's ghost LY+1).
 	bufUp, bufDn := pack(g.LY), pack(1)
-	reqUp := p.Isend(comm, g.up(), tagHaloUp, bufUp, 8*len(bufUp))
-	reqDn := p.Isend(comm, g.down(), tagHaloDown, bufDn, 8*len(bufDn))
-	fromDn, _ := p.Recv(comm, g.down(), tagHaloUp)
-	unpack(0, fromDn.([]float64))
-	fromUp, _ := p.Recv(comm, g.up(), tagHaloDown)
-	unpack(g.LY+1, fromUp.([]float64))
+	reqUp := p.IsendF64Shared(comm, g.up(), tagHaloUp, bufUp)
+	reqDn := p.IsendF64Shared(comm, g.down(), tagHaloDown, bufDn)
+	fromDn, _ := p.RecvF64Shared(comm, g.down(), tagHaloUp)
+	unpack(0, fromDn)
+	fromUp, _ := p.RecvF64Shared(comm, g.up(), tagHaloDown)
+	unpack(g.LY+1, fromUp)
 	p.Waitall(reqUp, reqDn)
 }
 
@@ -199,15 +199,15 @@ func (g *Grid) ReduceMomentHalos(p *psmpi.Proc, comm *psmpi.Comm) {
 	// Ghost LY+1 holds deposits belonging to the up-neighbour's row 1;
 	// ghost 0 belongs to the down-neighbour's row LY.
 	bufUp, bufDn := pack(g.LY+1), pack(0)
-	reqUp := p.Isend(comm, g.up(), tagMomUp, bufUp, 8*len(bufUp))
-	reqDn := p.Isend(comm, g.down(), tagMomDown, bufDn, 8*len(bufDn))
-	fromDn, _ := p.Recv(comm, g.down(), tagMomUp)
-	buf := fromDn.([]float64)
+	reqUp := p.IsendF64Shared(comm, g.up(), tagMomUp, bufUp)
+	reqDn := p.IsendF64Shared(comm, g.down(), tagMomDown, bufDn)
+	fromDn, _ := p.RecvF64Shared(comm, g.down(), tagMomUp)
+	buf := fromDn
 	for i, name := range names {
 		g.AddRow(name, 1, buf[i*g.NX:(i+1)*g.NX])
 	}
-	fromUp, _ := p.Recv(comm, g.up(), tagMomDown)
-	buf = fromUp.([]float64)
+	fromUp, _ := p.RecvF64Shared(comm, g.up(), tagMomDown)
+	buf = fromUp
 	for i, name := range names {
 		g.AddRow(name, g.LY, buf[i*g.NX:(i+1)*g.NX])
 	}

@@ -363,12 +363,12 @@ func (ps *ParticleSolver) Migrate(p *psmpi.Proc, comm *psmpi.Comm) {
 	}
 	// Exchange with both neighbours (counts travel with the payload); the
 	// buffers are freshly built and never reused, so they ship uncopied.
-	reqUp := p.Isend(comm, g.up(), tagPartUp, upBuf, 8*len(upBuf))
-	reqDn := p.Isend(comm, g.down(), tagPartDown, dnBuf, 8*len(dnBuf))
-	fromDn, _ := p.Recv(comm, g.down(), tagPartUp)
-	ps.absorb(fromDn.([]float64))
-	fromUp, _ := p.Recv(comm, g.up(), tagPartDown)
-	ps.absorb(fromUp.([]float64))
+	reqUp := p.IsendF64Shared(comm, g.up(), tagPartUp, upBuf)
+	reqDn := p.IsendF64Shared(comm, g.down(), tagPartDown, dnBuf)
+	fromDn, _ := p.RecvF64Shared(comm, g.down(), tagPartUp)
+	ps.absorb(fromDn)
+	fromUp, _ := p.RecvF64Shared(comm, g.up(), tagPartDown)
+	ps.absorb(fromUp)
 	p.Waitall(reqUp, reqDn)
 }
 

@@ -234,8 +234,7 @@ func resilientBoosterMain(p *psmpi.Proc, spec ResilientSpec, s *sink, clusterBin
 		phase(p, &t.Exchange, func() {
 			req := p.Irecv(inter, peer, tagIfaceF)
 			if cfg.NoOverlap {
-				data, _ := p.Wait(req)
-				fbuf = data.([]float64)
+				fbuf, _ = p.WaitF64(req)
 			}
 			if step%cfg.DiagEvery == 0 {
 				phase(p, &t.Aux, func() {
@@ -243,8 +242,7 @@ func resilientBoosterMain(p *psmpi.Proc, spec ResilientSpec, s *sink, clusterBin
 				})
 			}
 			if !cfg.NoOverlap {
-				data, _ := p.Wait(req)
-				fbuf = data.([]float64)
+				fbuf, _ = p.WaitF64(req)
 			}
 		})
 		t.Exchange -= t.Aux - auxBefore
@@ -263,7 +261,7 @@ func resilientBoosterMain(p *psmpi.Proc, spec ResilientSpec, s *sink, clusterBin
 
 		phase(p, &t.Exchange, func() {
 			mbuf := packFields(p, g, MomentNames)
-			req := p.Issend(inter, peer, tagIfaceM, mbuf, 8*len(mbuf))
+			req := p.IssendF64Shared(inter, peer, tagIfaceM, mbuf)
 			p.Wait(req)
 		})
 		if cfg.Verbose && p.Rank() == 0 && step%50 == 0 {
@@ -325,7 +323,7 @@ func resilientClusterMain(p *psmpi.Proc, spec ResilientSpec, s *sink) error {
 		auxBefore := t.Aux
 		phase(p, &t.Exchange, func() {
 			fbuf := packFields(p, g, FieldNames)
-			req := p.Issend(inter, peer, tagIfaceF, fbuf, 8*len(fbuf))
+			req := p.IssendF64Shared(inter, peer, tagIfaceF, fbuf)
 			if cfg.NoOverlap {
 				p.Wait(req)
 			}
@@ -342,8 +340,8 @@ func resilientClusterMain(p *psmpi.Proc, spec ResilientSpec, s *sink) error {
 
 		phase(p, &t.Exchange, func() {
 			req := p.Irecv(inter, peer, tagIfaceM)
-			data, _ := p.Wait(req)
-			unpackFields(p, g, MomentNames, data.([]float64))
+			data, _ := p.WaitF64(req)
+			unpackFields(p, g, MomentNames, data)
 		})
 
 		phase(p, &t.Field, func() { fld.SolveB(p, comm) })
