@@ -17,6 +17,7 @@ import (
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/msa"
 	"clusterbooster/internal/nam"
@@ -183,14 +184,15 @@ func BenchmarkAblationCheckpointTargets(b *testing.B) {
 			mgr.BeginCheckpoint(1)
 			var done vclock.Time
 			for rank := 0; rank < 4; rank++ {
-				t, err := mgr.Checkpoint(rank, 1, data, levels, 0)
-				if err != nil {
+				a := ioev.Detach(nil, 0)
+				if err := mgr.Checkpoint(a, rank, 1, data, levels); err != nil {
 					b.Fatal(err)
 				}
-				done = vclock.Max(done, t)
+				done = vclock.Max(done, a.Now())
 			}
-			if t, err := mgr.CompleteGlobal(1, 0, done); err == nil && t > done {
-				done = t
+			a := ioev.Detach(nil, done)
+			if err := mgr.CompleteGlobal(a, 1, 0); err == nil && a.Now() > done {
+				done = a.Now()
 			}
 			b.ReportMetric(done.Seconds()*1e3, name)
 		}
@@ -206,11 +208,11 @@ func BenchmarkAblationCheckpointTargets(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			t, err := region.Write(nodes[rank], ckptBytes, 0)
+			op, err := region.SubmitWrite(ioev.At(0), nodes[rank], ckptBytes)
 			if err != nil {
 				b.Fatal(err)
 			}
-			namDone = vclock.Max(namDone, t)
+			namDone = vclock.Max(namDone, op.Time())
 		}
 		b.ReportMetric(namDone.Seconds()*1e3, "nam-ms")
 	}
@@ -226,26 +228,29 @@ func BenchmarkAblationCacheDomain(b *testing.B) {
 		sysA := core.Prototype()
 		nodesA, _ := sysA.ClusterNodes(1)
 		ca := beegfs.NewCache(sysA.FS, beegfs.CacheAsync, sysA.NVMe)
-		tAsync, err := ca.Write("/b", data, nodesA[0], 0)
-		if err != nil {
+		aa := ioev.Detach(nodesA[0], 0)
+		if err := ca.Write(aa, "/b", data); err != nil {
 			b.Fatal(err)
 		}
+		tAsync := aa.Now()
 
 		sysS := core.Prototype()
 		nodesS, _ := sysS.ClusterNodes(1)
 		cs := beegfs.NewCache(sysS.FS, beegfs.CacheSync, sysS.NVMe)
-		tSync, err := cs.Write("/b", data, nodesS[0], 0)
-		if err != nil {
+		as := ioev.Detach(nodesS[0], 0)
+		if err := cs.Write(as, "/b", data); err != nil {
 			b.Fatal(err)
 		}
+		tSync := as.Now()
 
 		sysN := core.Prototype()
 		nodesN, _ := sysN.ClusterNodes(1)
-		sysN.FS.Create("/b", nodesN[0], 0)
-		tDirect, err := sysN.FS.Write("/b", 0, data, nodesN[0], 0)
-		if err != nil {
+		ad := ioev.Detach(nodesN[0], 0)
+		sysN.FS.Create(ad, "/b")
+		if err := sysN.FS.Write(ad, "/b", 0, data); err != nil {
 			b.Fatal(err)
 		}
+		tDirect := ad.Now()
 		b.ReportMetric(tAsync.Seconds()*1e3, "async-ms")
 		b.ReportMetric(tSync.Seconds()*1e3, "sync-ms")
 		b.ReportMetric(tDirect.Seconds()*1e3, "direct-ms")
@@ -262,33 +267,35 @@ func BenchmarkAblationSIONFanIn(b *testing.B) {
 
 			sys1 := core.Prototype()
 			n1, _ := sys1.ClusterNodes(1)
-			w, _, err := sion.Create(sys1.FS, "/c.sion", ntasks, 256<<10, n1[0], 0)
+			w, _, err := sion.SubmitCreate(sys1.FS, "/c.sion", ntasks, 256<<10, n1[0], ioev.At(0))
 			if err != nil {
 				b.Fatal(err)
 			}
 			var tSion vclock.Time
 			for task := 0; task < ntasks; task++ {
-				done, err := w.WriteTask(task, data, n1[0], 0)
+				done, err := w.SubmitWriteTask(ioev.At(0), task, data, n1[0])
 				if err != nil {
 					b.Fatal(err)
 				}
-				tSion = vclock.Max(tSion, done)
+				tSion = vclock.Max(tSion, done.Time())
 			}
-			if tSion, err = w.Close(n1[0], tSion); err != nil {
+			closed, err := w.SubmitClose(ioev.At(tSion), n1[0])
+			if err != nil {
 				b.Fatal(err)
 			}
+			tSion = closed.Time()
 
 			sys2 := core.Prototype()
 			n2, _ := sys2.ClusterNodes(1)
 			var tFiles vclock.Time
 			for task := 0; task < ntasks; task++ {
 				path := "/task-" + string(rune('a'+task%26)) + string(rune('0'+task/26))
-				created := sys2.FS.Create(path, n2[0], 0)
-				done, err := sys2.FS.Write(path, 0, data, n2[0], created)
+				created := sys2.FS.SubmitCreate(ioev.At(0), path, n2[0])
+				done, err := sys2.FS.SubmitWrite(created, path, 0, data, n2[0])
 				if err != nil {
 					b.Fatal(err)
 				}
-				tFiles = vclock.Max(tFiles, done)
+				tFiles = vclock.Max(tFiles, done.Time())
 			}
 			if ntasks == 64 {
 				b.ReportMetric(tSion.Seconds()*1e3, "sion64-ms")

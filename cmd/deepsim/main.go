@@ -62,6 +62,7 @@ import (
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
 	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sweep"
@@ -209,6 +210,7 @@ func reportStats(enabled bool) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "deepsim: kernel %s\n", engine.Global())
+	fmt.Fprintf(os.Stderr, "deepsim: io %s\n", ioev.Global())
 	fmt.Fprintf(os.Stderr, "deepsim: %s\n", sweep.RunCacheStats())
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"clusterbooster/internal/bench"
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/nam"
 	"clusterbooster/internal/sweep"
 )
@@ -79,13 +80,15 @@ func main() {
 		fmt.Println("NAM RDMA (one-sided, no remote CPU):")
 		fmt.Printf("%-12s %14s %14s\n", "Size [B]", "write [MB/s]", "read [MB/s]")
 		for size := int64(4 << 10); size <= 256<<20; size *= 8 {
-			wt, err := region.Write(sys.Machine.Node(0), size, 0)
+			// Submitted, not awaited: the table prices each transfer from
+			// instant 0 without an actor clock in the way.
+			wop, err := region.SubmitWrite(ioev.At(0), sys.Machine.Node(0), size)
 			if err != nil {
 				break
 			}
-			rt, _ := region.Read(sys.Machine.Node(0), size, 0)
+			rop, _ := region.SubmitRead(ioev.At(0), sys.Machine.Node(0), size)
 			fmt.Printf("%-12d %14.0f %14.0f\n", size,
-				float64(size)/wt.Seconds()/1e6, float64(size)/rt.Seconds()/1e6)
+				float64(size)/wop.Time().Seconds()/1e6, float64(size)/rop.Time().Seconds()/1e6)
 		}
 	}
 }

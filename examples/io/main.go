@@ -1,7 +1,9 @@
-// IO: the DEEP-ER I/O stack of §III-C. Sixteen tasks write task-local output
-// through SIONlib into one container on BeeGFS, a BeeOND cache domain on
-// node-local NVMe absorbs a checkpoint burst asynchronously, and the data is
-// read back and verified.
+// IO: the DEEP-ER I/O stack of §III-C, driven as a real MPI-style job on
+// the discrete-event kernel. Sixteen ranks write task-local output through
+// SIONlib into one container on BeeGFS and read it back verified; then a
+// BeeOND cache domain on node-local NVMe absorbs a checkpoint burst in
+// asynchronous and synchronous mode, showing why the async return is the
+// one applications see.
 package main
 
 import (
@@ -11,6 +13,8 @@ import (
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/ioev"
+	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/sion"
 	"clusterbooster/internal/vclock"
 )
@@ -18,59 +22,91 @@ import (
 func main() {
 	sys := core.Prototype()
 
-	// --- SIONlib: task-local I/O concentrated into one container file ---
 	const ntasks = 16
-	nodes, err := sys.ClusterNodes(16)
+	nodes, err := sys.ClusterNodes(ntasks)
 	if err != nil {
 		log.Fatal(err)
 	}
-	w, _, err := sion.Create(sys.FS, "/data/moments.sion", ntasks, 64<<10, nodes[0], 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var tWrite vclock.Time
-	payloads := make([][]byte, ntasks)
-	for task := 0; task < ntasks; task++ {
-		payloads[task] = bytes.Repeat([]byte{byte('A' + task)}, 1<<20) // 1 MiB each
-		done, err := w.WriteTask(task, payloads[task], nodes[task], 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tWrite = vclock.Max(tWrite, done)
-	}
-	tClose, err := w.Close(nodes[0], tWrite)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("SIONlib: %d task streams → 1 container, %d MiB in %v\n",
-		ntasks, ntasks, tClose)
 
-	// Read back and verify.
-	r, _, err := sion.OpenRead(sys.FS, "/data/moments.sion", nodes[3], tClose)
+	// --- SIONlib: task-local I/O concentrated into one container file ---
+	// Rank 0 opens the container before the job; every rank streams its own
+	// 1 MiB payload, a barrier makes all writes visible, and rank 0 seals
+	// the container (SIONlib's collective close).
+	w, _, err := sion.SubmitCreate(sys.FS, "/data/moments.sion", ntasks, 64<<10, nodes[0], ioev.At(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, tRead, err := r.ReadTask(7, nodes[3], tClose)
-	if err != nil || !bytes.Equal(got, payloads[7]) {
-		log.Fatalf("verification failed: %v", err)
+	payloads := make([][]byte, ntasks)
+	for task := range payloads {
+		payloads[task] = bytes.Repeat([]byte{byte('A' + task)}, 1<<20)
 	}
-	fmt.Printf("read back task 7 (%d bytes) from another node, verified, at %v\n", len(got), tRead)
+	var tClose, tRead vclock.Time
+	var got []byte
+	res, err := sys.Runtime.Launch(psmpi.LaunchSpec{Nodes: nodes, Main: func(p *psmpi.Proc) error {
+		rank := p.Rank()
+		if err := w.WriteTask(p, rank, payloads[rank]); err != nil {
+			return err
+		}
+		p.Barrier(p.World())
+		if rank == 0 {
+			if err := w.Close(p); err != nil {
+				return err
+			}
+			tClose = p.Now()
+		}
+		p.Barrier(p.World())
+		if rank == 3 {
+			// Read back another rank's stream from a different node.
+			r, err := sion.OpenRead(p, sys.FS, "/data/moments.sion")
+			if err != nil {
+				return err
+			}
+			got, err = r.ReadTask(p, 7)
+			if err != nil {
+				return err
+			}
+			tRead = p.Now()
+		}
+		return nil
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, payloads[7]) {
+		log.Fatal("verification failed: task 7 read back differs")
+	}
+	fmt.Printf("SIONlib: %d task streams → 1 container, %d MiB sealed at %v\n",
+		ntasks, ntasks, tClose)
+	fmt.Printf("read back task 7 (%d bytes) from another node, verified, at %v (job makespan %v)\n",
+		len(got), tRead, res.Makespan)
 
 	// --- BeeOND cache domain: async NVMe cache in front of the global FS ---
 	cacheAsync := beegfs.NewCache(sys.FS, beegfs.CacheAsync, sys.NVMe)
 	cacheSync := beegfs.NewCache(sys.FS, beegfs.CacheSync, sys.NVMe)
 	burst := make([]byte, 128<<20) // a 128 MiB checkpoint burst
 
-	tAsync, err := cacheAsync.Write("/ckpt/async.bin", burst, nodes[0], 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tSync, err := cacheSync.Write("/ckpt/sync.bin", burst, nodes[1], 0)
+	var tAsync, tSync, tDrain vclock.Time
+	_, err = sys.Runtime.Launch(psmpi.LaunchSpec{Nodes: nodes[:2], Main: func(p *psmpi.Proc) error {
+		switch p.Rank() {
+		case 0:
+			if err := cacheAsync.Write(p, "/ckpt/async.bin", burst); err != nil {
+				return err
+			}
+			tAsync = p.Now()
+			cacheAsync.Drain(p)
+			tDrain = p.Now()
+		case 1:
+			if err := cacheSync.Write(p, "/ckpt/sync.bin", burst); err != nil {
+				return err
+			}
+			tSync = p.Now()
+		}
+		return nil
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("BeeOND 128 MiB burst: async (to NVMe) %v vs sync (write-through) %v → %.1f× faster return\n",
 		tAsync, tSync, tSync.Seconds()/tAsync.Seconds())
-	drained := cacheAsync.Drain(tAsync)
-	fmt.Printf("async data safe in the global FS after drain at %v\n", drained)
+	fmt.Printf("async data safe in the global FS after drain at %v\n", tDrain)
 }

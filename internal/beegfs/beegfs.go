@@ -8,14 +8,24 @@
 // target's disk queue; a read does the reverse. Content is stored for real —
 // SIONlib containers and checkpoints written through this package can be read
 // back and verified bit-for-bit — while all costs are virtual-time.
+//
+// File-system latencies are scheduled kernel events: Create/Write/Read/
+// Delete park the calling ioev.Proc until the operation completes, and the
+// Submit* forms issue against an ioev.Op dependency without parking, so
+// layered writers (a SION container fanning one flush across both stripe
+// targets, SCR overlapping a global write with a buddy copy) can join
+// several completions before a single park. The FS carries no mutex — under
+// the cooperative kernel exactly one rank (or baton-holding callback) runs
+// at a time and every method executes within one turn, the same
+// serialisation argument as scr.
 package beegfs
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
 )
@@ -73,10 +83,8 @@ type FS struct {
 	metaQ     *vclock.SharedClock
 	targetEPs []int
 	targetQs  []*vclock.SharedClock
-
-	mu    sync.Mutex
-	files map[string]*file
-	used  int64
+	files     map[string]*file
+	used      int64
 }
 
 // New attaches a file system to the fabric. A zero Config selects the
@@ -101,44 +109,39 @@ func New(net *fabric.Network, cfg Config) *FS {
 func (fs *FS) Config() Config { return fs.cfg }
 
 // Used returns the bytes stored.
-func (fs *FS) Used() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.used
-}
+func (fs *FS) Used() int64 { return fs.used }
 
-// metaOp costs one metadata round trip from the node: fabric latency to the
-// MDS plus the (serialised) metadata service time.
-func (fs *FS) metaOp(node *machine.Node, ready vclock.Time) vclock.Time {
-	req := fs.net.RDMAWrite(node, fs.metaEP, 64, ready)
+// submitMetaOp costs one metadata round trip from the node: fabric latency
+// to the MDS plus the (serialised) metadata service time.
+func (fs *FS) submitMetaOp(dep ioev.Op, node *machine.Node) ioev.Op {
+	req := fs.net.RDMAWrite(node, fs.metaEP, 64, dep.Time())
 	_, end := fs.metaQ.Reserve(req, fs.cfg.MetaLatency)
-	return end
+	return ioev.At(end)
 }
 
-// Create makes an empty file (overwriting any existing one) and returns the
-// completion time of the metadata operation.
-func (fs *FS) Create(path string, node *machine.Node, ready vclock.Time) vclock.Time {
-	fs.mu.Lock()
+// Create makes an empty file (overwriting any existing one) and parks the
+// caller for the metadata round trip.
+func (fs *FS) Create(p ioev.Proc, path string) {
+	ioev.Await(p, fs.SubmitCreate(ioev.Start(p), path, p.Node()))
+}
+
+// SubmitCreate issues the create after dep without parking, from node.
+func (fs *FS) SubmitCreate(dep ioev.Op, path string, node *machine.Node) ioev.Op {
 	if old, ok := fs.files[path]; ok {
 		fs.used -= int64(len(old.data))
 	}
 	fs.files[path] = &file{}
-	fs.mu.Unlock()
-	return fs.metaOp(node, ready)
+	return fs.submitMetaOp(dep, node)
 }
 
 // Exists reports whether a file exists.
 func (fs *FS) Exists(path string) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	_, ok := fs.files[path]
 	return ok
 }
 
 // Size returns the current size of a file.
 func (fs *FS) Size(path string) (int64, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	f, ok := fs.files[path]
 	if !ok {
 		return 0, fmt.Errorf("beegfs: %s: no such file", path)
@@ -146,21 +149,23 @@ func (fs *FS) Size(path string) (int64, error) {
 	return int64(len(f.data)), nil
 }
 
-// Delete removes a file; missing files are a no-op.
-func (fs *FS) Delete(path string, node *machine.Node, ready vclock.Time) vclock.Time {
-	fs.mu.Lock()
+// Delete removes a file (missing files are a no-op) and parks the caller
+// for the metadata round trip.
+func (fs *FS) Delete(p ioev.Proc, path string) {
+	ioev.Await(p, fs.SubmitDelete(ioev.Start(p), path, p.Node()))
+}
+
+// SubmitDelete issues the delete after dep without parking, from node.
+func (fs *FS) SubmitDelete(dep ioev.Op, path string, node *machine.Node) ioev.Op {
 	if f, ok := fs.files[path]; ok {
 		fs.used -= int64(len(f.data))
 		delete(fs.files, path)
 	}
-	fs.mu.Unlock()
-	return fs.metaOp(node, ready)
+	return fs.submitMetaOp(dep, node)
 }
 
 // List returns all paths in lexical order.
 func (fs *FS) List() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	out := make([]string, 0, len(fs.files))
 	for p := range fs.files {
 		out = append(out, p)
@@ -187,68 +192,83 @@ func (fs *FS) targetSpan(offset, size int64) []int64 {
 }
 
 // Write stores data at the given offset, extending the file as needed, and
-// returns the virtual completion time. The transfer is striped: each target
-// receives its chunks over the fabric and then commits them to disk; the
-// write completes when the slowest target is done.
-func (fs *FS) Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
-	if offset < 0 {
-		return 0, fmt.Errorf("beegfs: negative offset %d", offset)
+// parks the caller until the write is durable. The transfer is striped:
+// each target receives its chunks over the fabric and then commits them to
+// disk; the write completes when the slowest target is done.
+func (fs *FS) Write(p ioev.Proc, path string, offset int64, data []byte) error {
+	op, err := fs.SubmitWrite(ioev.Start(p), path, offset, data, p.Node())
+	if err != nil {
+		return err
 	}
-	fs.mu.Lock()
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitWrite issues the striped write after dep without parking, from
+// node, returning the completion token of the slowest target.
+func (fs *FS) SubmitWrite(dep ioev.Op, path string, offset int64, data []byte, node *machine.Node) (ioev.Op, error) {
+	if offset < 0 {
+		return ioev.Op{}, fmt.Errorf("beegfs: negative offset %d", offset)
+	}
 	f, ok := fs.files[path]
 	if !ok {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("beegfs: %s: no such file", path)
+		return ioev.Op{}, fmt.Errorf("beegfs: %s: no such file", path)
 	}
 	newEnd := offset + int64(len(data))
 	grow := newEnd - int64(len(f.data))
 	if grow > 0 {
 		if fs.used+grow > fs.cfg.CapacityBytes {
-			fs.mu.Unlock()
-			return 0, fmt.Errorf("beegfs: file system full (%d + %d > %d)", fs.used, grow, fs.cfg.CapacityBytes)
+			return ioev.Op{}, fmt.Errorf("beegfs: file system full (%d + %d > %d)", fs.used, grow, fs.cfg.CapacityBytes)
 		}
 		f.data = append(f.data, make([]byte, grow)...)
 		fs.used += grow
 	}
 	copy(f.data[offset:], data)
-	fs.mu.Unlock()
 
-	done := ready
+	done := dep
 	for t, bytes := range fs.targetSpan(offset, int64(len(data))) {
 		if bytes == 0 {
 			continue
 		}
-		arrive := fs.net.RDMAWrite(node, fs.targetEPs[t], int(bytes), ready)
+		arrive := fs.net.RDMAWrite(node, fs.targetEPs[t], int(bytes), dep.Time())
 		_, end := fs.targetQs[t].Reserve(arrive, vclock.Time(float64(bytes)/(fs.cfg.TargetGBs*1e9)))
-		done = vclock.Max(done, end)
+		done = ioev.After(done, ioev.At(end))
 	}
 	return done, nil
 }
 
-// Read returns size bytes from the given offset and the completion time:
-// each target reads its chunks from disk and ships them over the fabric.
-func (fs *FS) Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
-	fs.mu.Lock()
+// Read returns size bytes from the given offset, parking the caller until
+// the data arrives: each target reads its chunks from disk and ships them
+// over the fabric.
+func (fs *FS) Read(p ioev.Proc, path string, offset, size int64) ([]byte, error) {
+	out, op, err := fs.SubmitRead(ioev.Start(p), path, offset, size, p.Node())
+	if err != nil {
+		return nil, err
+	}
+	ioev.Await(p, op)
+	return out, nil
+}
+
+// SubmitRead issues the striped read after dep without parking, from node,
+// returning the data and the completion token of the slowest target.
+func (fs *FS) SubmitRead(dep ioev.Op, path string, offset, size int64, node *machine.Node) ([]byte, ioev.Op, error) {
 	f, ok := fs.files[path]
 	if !ok {
-		fs.mu.Unlock()
-		return nil, 0, fmt.Errorf("beegfs: %s: no such file", path)
+		return nil, ioev.Op{}, fmt.Errorf("beegfs: %s: no such file", path)
 	}
 	if offset < 0 || offset+size > int64(len(f.data)) {
-		fs.mu.Unlock()
-		return nil, 0, fmt.Errorf("beegfs: read [%d,%d) beyond EOF %d of %s", offset, offset+size, len(f.data), path)
+		return nil, ioev.Op{}, fmt.Errorf("beegfs: read [%d,%d) beyond EOF %d of %s", offset, offset+size, len(f.data), path)
 	}
 	out := append([]byte(nil), f.data[offset:offset+size]...)
-	fs.mu.Unlock()
 
-	done := ready
+	done := dep
 	for t, bytes := range fs.targetSpan(offset, size) {
 		if bytes == 0 {
 			continue
 		}
-		_, diskEnd := fs.targetQs[t].Reserve(ready, vclock.Time(float64(bytes)/(fs.cfg.TargetGBs*1e9)))
+		_, diskEnd := fs.targetQs[t].Reserve(dep.Time(), vclock.Time(float64(bytes)/(fs.cfg.TargetGBs*1e9)))
 		arrive := fs.net.RDMARead(node, fs.targetEPs[t], int(bytes), diskEnd)
-		done = vclock.Max(done, arrive)
+		done = ioev.After(done, ioev.At(arrive))
 	}
 	return out, done, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/vclock"
@@ -20,35 +21,35 @@ func testFS(cfg Config) (*FS, *machine.System) {
 
 func TestCreateWriteReadBack(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	fs.Create("/out/data.bin", n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/out/data.bin")
 	payload := bytes.Repeat([]byte("deep-er!"), 1000)
-	done, err := fs.Write("/out/data.bin", 0, payload, n, 0)
-	if err != nil {
+	if err := fs.Write(a, "/out/data.bin", 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, rdone, err := fs.Read("/out/data.bin", 0, int64(len(payload)), n, done)
+	done := a.Now()
+	got, err := fs.Read(a, "/out/data.bin", 0, int64(len(payload)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatal("read back differs from written data")
 	}
-	if rdone <= done {
+	if a.Now() <= done {
 		t.Fatal("read completed before it started")
 	}
 }
 
 func TestWriteAtOffsetExtends(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	fs.Create("/f", n, 0)
-	fs.Write("/f", 10, []byte("abc"), n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/f")
+	fs.Write(a, "/f", 10, []byte("abc"))
 	size, err := fs.Size("/f")
 	if err != nil || size != 13 {
 		t.Fatalf("size = %d (%v), want 13", size, err)
 	}
-	got, _, _ := fs.Read("/f", 0, 13, n, 0)
+	got, _ := fs.Read(a, "/f", 0, 13)
 	if got[0] != 0 || string(got[10:]) != "abc" {
 		t.Fatalf("content = %q", got)
 	}
@@ -56,11 +57,11 @@ func TestWriteAtOffsetExtends(t *testing.T) {
 
 func TestMissingFileErrors(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	if _, err := fs.Write("/nope", 0, []byte("x"), n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	if err := fs.Write(a, "/nope", 0, []byte("x")); err == nil {
 		t.Error("write to missing file succeeded")
 	}
-	if _, _, err := fs.Read("/nope", 0, 1, n, 0); err == nil {
+	if _, err := fs.Read(a, "/nope", 0, 1); err == nil {
 		t.Error("read of missing file succeeded")
 	}
 	if _, err := fs.Size("/nope"); err == nil {
@@ -70,23 +71,23 @@ func TestMissingFileErrors(t *testing.T) {
 
 func TestReadBeyondEOF(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	fs.Create("/f", n, 0)
-	fs.Write("/f", 0, []byte("abc"), n, 0)
-	if _, _, err := fs.Read("/f", 0, 10, n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/f")
+	fs.Write(a, "/f", 0, []byte("abc"))
+	if _, err := fs.Read(a, "/f", 0, 10); err == nil {
 		t.Error("read beyond EOF succeeded")
 	}
 }
 
 func TestDeleteFreesSpace(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	fs.Create("/f", n, 0)
-	fs.Write("/f", 0, make([]byte, 1000), n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/f")
+	fs.Write(a, "/f", 0, make([]byte, 1000))
 	if fs.Used() != 1000 {
 		t.Fatalf("used = %d", fs.Used())
 	}
-	fs.Delete("/f", n, 0)
+	fs.Delete(a, "/f")
 	if fs.Used() != 0 || fs.Exists("/f") {
 		t.Fatal("delete did not free")
 	}
@@ -94,9 +95,9 @@ func TestDeleteFreesSpace(t *testing.T) {
 
 func TestCapacityEnforced(t *testing.T) {
 	fs, sys := testFS(Config{CapacityBytes: 1000})
-	n := sys.Node(0)
-	fs.Create("/f", n, 0)
-	if _, err := fs.Write("/f", 0, make([]byte, 2000), n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/f")
+	if err := fs.Write(a, "/f", 0, make([]byte, 2000)); err == nil {
 		t.Error("overflow accepted")
 	}
 }
@@ -106,20 +107,21 @@ func TestStripingUsesBothTargets(t *testing.T) {
 	// be roughly one chunk per target, not two chunks on one.
 	cfg := Config{ChunkSize: 1 << 20}
 	fs, sys := testFS(cfg)
-	n := sys.Node(0)
-	fs.Create("/big", n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/big")
+	start := a.Now()
 	twoChunks := make([]byte, 2<<20)
-	done, err := fs.Write("/big", 0, twoChunks, n, 0)
-	if err != nil {
+	if err := fs.Write(a, "/big", 0, twoChunks); err != nil {
 		t.Fatal(err)
 	}
+	elapsed := a.Now() - start
 	perChunkDisk := float64(1<<20) / (fs.Config().TargetGBs * 1e9)
 	// Both chunks cross the client's injection link serially (~2 net times),
 	// then hit different disks in parallel: total ≪ 2 disk times + 2 net.
 	netTime := float64(2<<20) / (12.5 * 0.88 * 1e9)
 	budget := perChunkDisk + 2*netTime + 0.001
-	if done.Seconds() > budget {
-		t.Errorf("striped write took %vs, want < %vs (parallel targets)", done.Seconds(), budget)
+	if elapsed.Seconds() > budget {
+		t.Errorf("striped write took %vs, want < %vs (parallel targets)", elapsed.Seconds(), budget)
 	}
 }
 
@@ -133,24 +135,44 @@ func TestTargetSpan(t *testing.T) {
 
 func TestList(t *testing.T) {
 	fs, sys := testFS(Config{})
-	n := sys.Node(0)
-	fs.Create("/b", n, 0)
-	fs.Create("/a", n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/b")
+	fs.Create(a, "/a")
 	got := fs.List()
 	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
 		t.Errorf("list = %v", got)
 	}
 }
 
+func TestSubmitWriteThreadsDependency(t *testing.T) {
+	// The submission layer must price a dependent write strictly after its
+	// dependency without any actor clock in play.
+	fs, sys := testFS(Config{})
+	n := sys.Node(0)
+	created := fs.SubmitCreate(ioev.At(0), "/f", n)
+	op1, err := fs.SubmitWrite(created, "/f", 0, make([]byte, 1<<20), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := fs.SubmitWrite(op1, "/f", 1<<20, make([]byte, 1<<20), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(created.Time() > 0 && op1.Time() > created.Time() && op2.Time() > op1.Time()) {
+		t.Errorf("ops not ordered: create=%v write1=%v write2=%v",
+			created.Time(), op1.Time(), op2.Time())
+	}
+}
+
 func TestQuickWriteReadRoundTrip(t *testing.T) {
 	fs, sys := testFS(Config{ChunkSize: 64})
-	n := sys.Node(0)
-	fs.Create("/q", n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	fs.Create(a, "/q")
 	f := func(off uint16, data []byte) bool {
-		if _, err := fs.Write("/q", int64(off), data, n, 0); err != nil {
+		if err := fs.Write(a, "/q", int64(off), data); err != nil {
 			return false
 		}
-		got, _, err := fs.Read("/q", int64(off), int64(len(data)), n, 0)
+		got, err := fs.Read(a, "/q", int64(off), int64(len(data)))
 		return err == nil && bytes.Equal(got, data)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -175,27 +197,29 @@ func TestCacheAsyncFasterThanSync(t *testing.T) {
 	// The point of the cache domain: async writes return at NVMe speed.
 	data := make([]byte, 64<<20)
 	ca, sysA := cacheSetup(CacheAsync)
-	doneA, err := ca.Write("/ckpt", data, sysA.Node(0), 0)
-	if err != nil {
+	aa := ioev.Detach(sysA.Node(0), 0)
+	if err := ca.Write(aa, "/ckpt", data); err != nil {
 		t.Fatal(err)
 	}
 	cs, sysS := cacheSetup(CacheSync)
-	doneS, err := cs.Write("/ckpt", data, sysS.Node(0), 0)
-	if err != nil {
+	as := ioev.Detach(sysS.Node(0), 0)
+	if err := cs.Write(as, "/ckpt", data); err != nil {
 		t.Fatal(err)
 	}
-	if doneA >= doneS {
-		t.Errorf("async write (%v) not faster than sync (%v)", doneA, doneS)
+	if aa.Now() >= as.Now() {
+		t.Errorf("async write (%v) not faster than sync (%v)", aa.Now(), as.Now())
 	}
 }
 
 func TestCacheDrainCoversFlush(t *testing.T) {
 	c, sys := cacheSetup(CacheAsync)
 	data := make([]byte, 64<<20)
-	localDone, _ := c.Write("/a", data, sys.Node(0), 0)
-	drained := c.Drain(localDone)
-	if drained <= localDone {
-		t.Errorf("drain (%v) not after local completion (%v)", drained, localDone)
+	a := ioev.Detach(sys.Node(0), 0)
+	c.Write(a, "/a", data)
+	localDone := a.Now()
+	c.Drain(a)
+	if a.Now() <= localDone {
+		t.Errorf("drain (%v) not after local completion (%v)", a.Now(), localDone)
 	}
 	// After the drain the file must be in the global FS.
 	if !c.fs.Exists("/a") {
@@ -211,29 +235,32 @@ func TestCacheLocalReadFastPath(t *testing.T) {
 	c, sys := cacheSetup(CacheAsync)
 	data := bytes.Repeat([]byte("x"), 32<<20)
 	owner, other := sys.Node(0), sys.Node(1)
-	c.Write("/f", data, owner, 0)
-	_, tLocal, err := c.Read("/f", owner, vclock.Second)
-	if err != nil {
+	aw := ioev.Detach(owner, 0)
+	c.Write(aw, "/f", data)
+	aLocal := ioev.Detach(owner, vclock.Second)
+	if _, err := c.Read(aLocal, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	_, tRemote, err := c.Read("/f", other, vclock.Second)
-	if err != nil {
+	aRemote := ioev.Detach(other, vclock.Second)
+	if _, err := c.Read(aRemote, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if tLocal >= tRemote {
-		t.Errorf("local cached read (%v) not faster than global read (%v)", tLocal, tRemote)
+	if aLocal.Now() >= aRemote.Now() {
+		t.Errorf("local cached read (%v) not faster than global read (%v)", aLocal.Now(), aRemote.Now())
 	}
 }
 
 func TestCacheContentRoundTrip(t *testing.T) {
 	c, sys := cacheSetup(CacheSync)
 	data := []byte("precious checkpoint bytes")
-	c.Write("/f", data, sys.Node(2), 0)
-	got, _, err := c.Read("/f", sys.Node(2), 0)
+	a := ioev.Detach(sys.Node(2), 0)
+	c.Write(a, "/f", data)
+	got, err := c.Read(a, "/f")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("cache read = %q (%v)", got, err)
 	}
-	got2, _, err := c.fs.Read("/f", 0, int64(len(data)), sys.Node(3), 0)
+	b := ioev.Detach(sys.Node(3), 0)
+	got2, err := c.fs.Read(b, "/f", 0, int64(len(data)))
 	if err != nil || !bytes.Equal(got2, data) {
 		t.Fatalf("global read = %q (%v)", got2, err)
 	}
@@ -245,14 +272,16 @@ func TestCacheRejectsForeignNode(t *testing.T) {
 	fs := New(net, Config{})
 	devs := map[int]*nvme.Device{sys.Node(0).ID: nvme.New(nvme.P3700())}
 	c := NewCache(fs, CacheAsync, devs)
-	if _, err := c.Write("/f", []byte("x"), sys.Node(1), 0); err == nil {
+	a := ioev.Detach(sys.Node(1), 0)
+	if err := c.Write(a, "/f", []byte("x")); err == nil {
 		t.Error("write from node outside the cache domain succeeded")
 	}
 }
 
 func TestCacheEvictFreesNVMe(t *testing.T) {
 	c, sys := cacheSetup(CacheAsync)
-	c.Write("/f", make([]byte, 1000), sys.Node(0), 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	c.Write(a, "/f", make([]byte, 1000))
 	dev := c.devs[sys.Node(0).ID]
 	if dev.Used() == 0 {
 		t.Fatal("cache write did not use NVMe")

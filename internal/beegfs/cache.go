@@ -2,8 +2,8 @@ package beegfs
 
 import (
 	"fmt"
-	"sync"
 
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/vclock"
@@ -32,12 +32,11 @@ func (m CacheMode) String() string {
 }
 
 // Cache is a BeeOND cache domain: a transient file-system layer over the
-// node-local NVMe devices of a job's nodes, in front of a global FS.
+// node-local NVMe devices of a job's nodes, in front of a global FS. Like
+// FS it carries no mutex: the cooperative kernel serialises every access.
 type Cache struct {
-	fs   *FS
-	mode CacheMode
-
-	mu      sync.Mutex
+	fs      *FS
+	mode    CacheMode
 	devs    map[int]*nvme.Device // node ID → device
 	content map[string][]byte
 	owner   map[string]*machine.Node
@@ -60,99 +59,90 @@ func NewCache(fs *FS, mode CacheMode, devs map[int]*nvme.Device) *Cache {
 // Mode returns the cache mode.
 func (c *Cache) Mode() CacheMode { return c.mode }
 
-// Write stores a whole file into the cache domain from the given node. In
-// async mode it returns once the local NVMe has the data and schedules the
-// flush; in sync mode it returns when the global FS has it.
-func (c *Cache) Write(path string, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
-	dev, ok := c.devByNode(node)
+// Write stores a whole file into the cache domain from the calling rank's
+// node. In async mode the caller parks only until the local NVMe has the
+// data, while the flush daemon's completion is a scheduled kernel event
+// (Drain waits for it); in sync mode the caller parks until the global FS
+// has the data. A flush still in flight when the job's last rank exits
+// never completes — its completion event, like any pending callback, is
+// dropped with the kernel.
+func (c *Cache) Write(p ioev.Proc, path string, data []byte) error {
+	node := p.Node()
+	dev, ok := c.devs[node.ID]
 	if !ok {
-		return 0, fmt.Errorf("beegfs: node %s is not part of the cache domain", node.Name())
+		return fmt.Errorf("beegfs: node %s is not part of the cache domain", node.Name())
 	}
-	localDone, err := dev.Put("beeond:"+path, int64(len(data)), ready)
+	local, err := dev.SubmitPut(ioev.Start(p), "beeond:"+path, int64(len(data)))
 	if err != nil {
-		return 0, fmt.Errorf("beegfs: cache write: %w", err)
+		return fmt.Errorf("beegfs: cache write: %w", err)
 	}
-	c.mu.Lock()
 	c.content[path] = append([]byte(nil), data...)
 	c.owner[path] = node
-	c.mu.Unlock()
 
 	// The flush daemon starts as soon as the data is local.
-	flushDone, err := c.flush(path, localDone)
+	flush, err := c.submitFlush(path, local)
 	if err != nil {
-		return 0, err
+		return err
 	}
+	p.CallAt(flush.Time(), func() { ioev.CountCacheFlush() })
 	if c.mode == CacheSync {
-		return flushDone, nil
+		ioev.Await(p, flush)
+	} else {
+		ioev.Await(p, local)
 	}
-	return localDone, nil
+	return nil
 }
 
-func (c *Cache) devByNode(node *machine.Node) (*nvme.Device, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d, ok := c.devs[node.ID]
-	return d, ok
-}
-
-// flush moves a cached file to the global FS, recording its completion.
-func (c *Cache) flush(path string, ready vclock.Time) (vclock.Time, error) {
-	c.mu.Lock()
+// submitFlush issues the move of a cached file to the global FS after dep,
+// recording its completion for Drain.
+func (c *Cache) submitFlush(path string, dep ioev.Op) (ioev.Op, error) {
 	data := c.content[path]
 	node := c.owner[path]
-	c.mu.Unlock()
-	c.fs.Create(path, node, ready)
-	done, err := c.fs.Write(path, 0, data, node, ready)
+	c.fs.SubmitCreate(dep, path, node)
+	done, err := c.fs.SubmitWrite(dep, path, 0, data, node)
 	if err != nil {
-		return 0, fmt.Errorf("beegfs: cache flush of %s: %w", path, err)
+		return ioev.Op{}, fmt.Errorf("beegfs: cache flush of %s: %w", path, err)
 	}
-	c.mu.Lock()
-	c.pending[path] = done
-	c.mu.Unlock()
+	c.pending[path] = done.Time()
 	return done, nil
 }
 
-// Read serves a file from the cache if the reading node holds it locally
-// (fast path: NVMe), otherwise from the global FS.
-func (c *Cache) Read(path string, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
-	c.mu.Lock()
+// Read serves a file from the cache if the reading rank's node holds it
+// locally (fast path: NVMe), otherwise from the global FS, parking the
+// caller until the data arrives.
+func (c *Cache) Read(p ioev.Proc, path string) ([]byte, error) {
+	node := p.Node()
 	data, cached := c.content[path]
-	owner := c.owner[path]
-	c.mu.Unlock()
-	if cached && owner.ID == node.ID {
-		dev, _ := c.devByNode(node)
-		_, done, err := dev.Get("beeond:"+path, ready)
-		if err == nil {
-			return append([]byte(nil), data...), done, nil
+	if cached && c.owner[path].ID == node.ID {
+		if dev, ok := c.devs[node.ID]; ok {
+			if _, op, err := dev.SubmitGet(ioev.Start(p), "beeond:"+path); err == nil {
+				ioev.Await(p, op)
+				return append([]byte(nil), data...), nil
+			}
 		}
 	}
-	return c.fs.Read(path, 0, int64(sizeOf(c, path)), node, ready)
-}
-
-func sizeOf(c *Cache, path string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.content[path])
-}
-
-// Drain waits for all scheduled flushes: the returned time is when every
-// cached file is safely in the global file system (the async mode's sync
-// point, e.g. at job end).
-func (c *Cache) Drain(ready vclock.Time) vclock.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	done := ready
-	for _, t := range c.pending {
-		done = vclock.Max(done, t)
+	out, op, err := c.fs.SubmitRead(ioev.Start(p), path, 0, int64(len(data)), node)
+	if err != nil {
+		return nil, err
 	}
-	return done
+	ioev.Await(p, op)
+	return out, nil
+}
+
+// Drain parks the caller until every scheduled flush has completed: the
+// async mode's sync point (e.g. at job end), after which every cached file
+// is safely in the global file system.
+func (c *Cache) Drain(p ioev.Proc) {
+	done := ioev.Start(p)
+	for _, t := range c.pending {
+		done = ioev.After(done, ioev.At(t))
+	}
+	ioev.Await(p, done)
 }
 
 // Evict drops a file from the cache layer (it remains in the global FS) and
 // frees the NVMe space.
 func (c *Cache) Evict(path string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if node, ok := c.owner[path]; ok {
 		if dev, ok := c.devs[node.ID]; ok {
 			dev.Delete("beeond:" + path)

@@ -14,6 +14,7 @@ import (
 
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioexp"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/xpic"
@@ -143,6 +144,22 @@ func BenchmarkKernelFig8SplitN8(b *testing.B) {
 		sys := core.New(8, 8, core.Options{WithoutStorage: true})
 		if _, err := sys.RunXPicSplit(8, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelFigIO runs the fig-io family's heaviest I/O strategies end
+// to end — the SIONlib global container and the async BeeOND cache at the
+// n=16, 8 MiB grid point — exercising the whole migrated I/O-on-kernel
+// stack: device queues, striped FS writes, cache flush callbacks, barriers.
+func BenchmarkKernelFigIO(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range []ioexp.Strategy{ioexp.SIONGlobal, ioexp.CacheAsync} {
+			if _, err := ioexp.Run(ioexp.Params{Strategy: s, Nodes: 16, Size: 8 << 20}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

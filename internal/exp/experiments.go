@@ -173,6 +173,7 @@ func init() {
 	registerFig8Scale()
 	registerFig8Scale4096()
 	registerFigResilience()
+	registerFigIO()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()

@@ -1,0 +1,58 @@
+package ioev
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Process-wide I/O event counters, maintained with atomics: storage models
+// tick them from whatever sweep worker runs the owning scenario. They
+// mirror engine's kernel counters — cheap monotonic aggregates for the
+// -stats flag, never consulted by the models themselves (experiment metrics
+// are computed deterministically from scenario state, not from these).
+var global struct {
+	containerBytes atomic.Uint64
+	cacheFlushes   atomic.Uint64
+	buddyCopies    atomic.Uint64
+}
+
+// AddContainerBytes records n bytes committed to a SION container (block
+// flushes, block table, header).
+func AddContainerBytes(n int64) {
+	if n > 0 {
+		global.containerBytes.Add(uint64(n))
+	}
+}
+
+// CountCacheFlush records one completed cache-domain flush to global
+// storage (ticked at the flush-completion kernel event).
+func CountCacheFlush() { global.cacheFlushes.Add(1) }
+
+// CountBuddyCopy records one buddy-checkpoint copy committed on a
+// companion node's device.
+func CountBuddyCopy() { global.buddyCopies.Add(1) }
+
+// Stats is a snapshot of the process-wide I/O event counters.
+type Stats struct {
+	// ContainerBytes is the total bytes committed to SION containers.
+	ContainerBytes uint64
+	// CacheFlushes is the number of cache-domain flushes completed.
+	CacheFlushes uint64
+	// BuddyCopies is the number of buddy-checkpoint copies committed.
+	BuddyCopies uint64
+}
+
+// Global snapshots the process-wide I/O counters.
+func Global() Stats {
+	return Stats{
+		ContainerBytes: global.containerBytes.Load(),
+		CacheFlushes:   global.cacheFlushes.Load(),
+		BuddyCopies:    global.buddyCopies.Load(),
+	}
+}
+
+// String renders the counters in the -stats flag format.
+func (s Stats) String() string {
+	return fmt.Sprintf("container_bytes=%d cache_flushes=%d buddy_copies=%d",
+		s.ContainerBytes, s.CacheFlushes, s.BuddyCopies)
+}

@@ -7,15 +7,20 @@
 //
 // The prototype holds two devices of 2 GB each; checkpointing into the NAM is
 // the use case studied in ref [6] and reproduced by the A2 ablation bench.
+//
+// Region access is timed through kernel events: Write/Read park the calling
+// ioev.Proc for the RDMA operation, SubmitWrite/SubmitRead issue it against
+// an ioev.Op dependency without parking. The device carries no mutex — the
+// cooperative kernel serialises every allocation and access, the same
+// argument as the rest of the migrated I/O stack.
 package nam
 
 import (
 	"fmt"
-	"sync"
 
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
-	"clusterbooster/internal/vclock"
 )
 
 // DeviceCapacity is the per-device capacity of the prototype's NAM cards
@@ -28,10 +33,8 @@ type Device struct {
 	capacity int64
 	endpoint int
 	net      *fabric.Network
-
-	mu      sync.Mutex
-	used    int64
-	regions map[string]*Region
+	used     int64
+	regions  map[string]*Region
 }
 
 // Region is an allocated range of NAM memory.
@@ -68,19 +71,13 @@ func (d *Device) Name() string { return d.name }
 func (d *Device) Capacity() int64 { return d.capacity }
 
 // Used returns the allocated bytes.
-func (d *Device) Used() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.used
-}
+func (d *Device) Used() int64 { return d.used }
 
 // Alloc reserves a named region of the given size.
 func (d *Device) Alloc(name string, size int64) (*Region, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("nam: invalid region size %d", size)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.regions[name]; ok {
 		return nil, fmt.Errorf("nam: region %q already allocated", name)
 	}
@@ -95,8 +92,6 @@ func (d *Device) Alloc(name string, size int64) (*Region, error) {
 
 // Free releases a region by name (no-op if absent).
 func (d *Device) Free(name string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if r, ok := d.regions[name]; ok {
 		d.used -= r.size
 		delete(d.regions, name)
@@ -105,8 +100,6 @@ func (d *Device) Free(name string) {
 
 // Region returns an allocated region by name.
 func (d *Device) Region(name string) (*Region, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	r, ok := d.regions[name]
 	return r, ok
 }
@@ -114,20 +107,42 @@ func (d *Device) Region(name string) (*Region, bool) {
 // Size returns the region size in bytes.
 func (r *Region) Size() int64 { return r.size }
 
-// Write RDMA-puts size bytes into the region from the initiator node,
-// returning the completion time. No CPU acts on the NAM side.
-func (r *Region) Write(initiator *machine.Node, size int64, ready vclock.Time) (vclock.Time, error) {
-	if size < 0 || size > r.size {
-		return 0, fmt.Errorf("nam: write of %d bytes exceeds region %q (%d)", size, r.name, r.size)
+// Write RDMA-puts size bytes into the region from the calling rank's node,
+// parking the caller until the put completes. No CPU acts on the NAM side.
+func (r *Region) Write(p ioev.Proc, size int64) error {
+	op, err := r.SubmitWrite(ioev.Start(p), p.Node(), size)
+	if err != nil {
+		return err
 	}
-	return r.dev.net.RDMAWrite(initiator, r.dev.endpoint, int(size), ready), nil
+	ioev.Await(p, op)
+	return nil
 }
 
-// Read RDMA-gets size bytes from the region to the initiator node, returning
-// the completion time.
-func (r *Region) Read(initiator *machine.Node, size int64, ready vclock.Time) (vclock.Time, error) {
+// SubmitWrite issues the RDMA put after dep without parking, from the
+// initiator node.
+func (r *Region) SubmitWrite(dep ioev.Op, initiator *machine.Node, size int64) (ioev.Op, error) {
 	if size < 0 || size > r.size {
-		return 0, fmt.Errorf("nam: read of %d bytes exceeds region %q (%d)", size, r.name, r.size)
+		return ioev.Op{}, fmt.Errorf("nam: write of %d bytes exceeds region %q (%d)", size, r.name, r.size)
 	}
-	return r.dev.net.RDMARead(initiator, r.dev.endpoint, int(size), ready), nil
+	return ioev.At(r.dev.net.RDMAWrite(initiator, r.dev.endpoint, int(size), dep.Time())), nil
+}
+
+// Read RDMA-gets size bytes from the region to the calling rank's node,
+// parking the caller until the get completes.
+func (r *Region) Read(p ioev.Proc, size int64) error {
+	op, err := r.SubmitRead(ioev.Start(p), p.Node(), size)
+	if err != nil {
+		return err
+	}
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitRead issues the RDMA get after dep without parking, to the
+// initiator node.
+func (r *Region) SubmitRead(dep ioev.Op, initiator *machine.Node, size int64) (ioev.Op, error) {
+	if size < 0 || size > r.size {
+		return ioev.Op{}, fmt.Errorf("nam: read of %d bytes exceeds region %q (%d)", size, r.name, r.size)
+	}
+	return ioev.At(r.dev.net.RDMARead(initiator, r.dev.endpoint, int(size), dep.Time())), nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 )
 
@@ -60,13 +61,13 @@ func TestRDMAAccessFromAllNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range sys.Nodes() {
-		wdone, err := r.Write(n, 1<<20, 0)
-		if err != nil || wdone <= 0 {
-			t.Fatalf("node %s write: %v at %v", n.Name(), err, wdone)
+		a := ioev.Detach(n, 0)
+		if err := r.Write(a, 1<<20); err != nil || a.Now() <= 0 {
+			t.Fatalf("node %s write: %v at %v", n.Name(), err, a.Now())
 		}
-		rdone, err := r.Read(n, 1<<20, 0)
-		if err != nil || rdone <= 0 {
-			t.Fatalf("node %s read: %v at %v", n.Name(), err, rdone)
+		before := a.Now()
+		if err := r.Read(a, 1<<20); err != nil || a.Now() <= before {
+			t.Fatalf("node %s read: %v at %v", n.Name(), err, a.Now())
 		}
 	}
 }
@@ -75,11 +76,15 @@ func TestRegionBoundsChecked(t *testing.T) {
 	net, sys := testSetup()
 	d := New(net, "nam0", 1<<20)
 	r, _ := d.Alloc("small", 100)
-	if _, err := r.Write(sys.Node(0), 200, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	if err := r.Write(a, 200); err == nil {
 		t.Fatal("oversized write accepted")
 	}
-	if _, err := r.Read(sys.Node(0), 200, 0); err == nil {
+	if err := r.Read(a, 200); err == nil {
 		t.Fatal("oversized read accepted")
+	}
+	if a.Now() != 0 {
+		t.Errorf("rejected transfers advanced the clock to %v", a.Now())
 	}
 }
 
@@ -89,12 +94,12 @@ func TestWriteFasterThanNVMeForSmallData(t *testing.T) {
 	net, sys := testSetup()
 	d := New(net, "nam0", 1<<30)
 	r, _ := d.Alloc("burst", 256<<20)
-	done, err := r.Write(sys.Node(0), 256<<20, 0)
-	if err != nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	if err := r.Write(a, 256<<20); err != nil {
 		t.Fatal(err)
 	}
 	// 256 MiB at ~11 GB/s ≈ 24 ms; NVMe write at 1.9 GB/s would be ~141 ms.
-	if done.Seconds() > 0.05 {
-		t.Errorf("NAM write of 256 MiB took %v, want < 50 ms", done)
+	if a.Now().Seconds() > 0.05 {
+		t.Errorf("NAM write of 256 MiB took %v, want < 50 ms", a.Now())
 	}
 }

@@ -9,12 +9,21 @@
 // model: command latency plus size over sequential bandwidth, with all
 // commands serialised through the device queue (a vclock.SharedClock), so
 // concurrent writers see realistic queueing delays.
+//
+// Device latencies are scheduled kernel events: Put/Get park the calling
+// ioev.Proc until the command completes, and SubmitPut/SubmitGet issue a
+// command against an ioev.Op dependency without parking, for composed paths
+// that join several operations before a single park. The device carries no
+// mutex — like the rest of the migrated I/O stack it relies on the
+// cooperative kernel for serialisation: exactly one rank (or baton-holding
+// callback) runs at a time, every method runs entirely within one turn, and
+// detached actors price I/O from a single host goroutine per scenario.
 package nvme
 
 import (
 	"fmt"
-	"sync"
 
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/vclock"
 )
 
@@ -43,8 +52,6 @@ func P3700() Spec {
 type Device struct {
 	spec  Spec
 	queue *vclock.SharedClock
-
-	mu    sync.Mutex
 	used  int64
 	blobs map[string]int64
 }
@@ -62,18 +69,10 @@ func New(spec Spec) *Device {
 func (d *Device) Spec() Spec { return d.spec }
 
 // Used returns the bytes currently stored.
-func (d *Device) Used() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.used
-}
+func (d *Device) Used() int64 { return d.used }
 
 // Free returns the remaining capacity in bytes.
-func (d *Device) Free() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.spec.CapacityBytes - d.used
-}
+func (d *Device) Free() int64 { return d.spec.CapacityBytes - d.used }
 
 // writeTime models one write command of the given size.
 func (d *Device) writeTime(size int64) vclock.Time {
@@ -85,51 +84,85 @@ func (d *Device) readTime(size int64) vclock.Time {
 	return d.spec.CmdLatency + vclock.Time(float64(size)/(d.spec.ReadGBs*1e9))
 }
 
-// Put stores (or overwrites) a named blob of the given size, returning the
-// virtual completion time for a command issued at ready. Fails if the device
-// would overflow.
-func (d *Device) Put(name string, size int64, ready vclock.Time) (vclock.Time, error) {
-	if size < 0 {
-		return 0, fmt.Errorf("nvme: negative size %d", size)
+// Put stores (or overwrites) a named blob of the given size and parks the
+// caller until the write command completes. Fails (without advancing time)
+// if the device would overflow.
+func (d *Device) Put(p ioev.Proc, name string, size int64) error {
+	op, err := d.SubmitPut(ioev.Start(p), name, size)
+	if err != nil {
+		return err
 	}
-	d.mu.Lock()
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitPut issues a write command after dep without parking, returning the
+// completion token. The blob is recorded immediately (model state is
+// instantaneous; only time is simulated).
+func (d *Device) SubmitPut(dep ioev.Op, name string, size int64) (ioev.Op, error) {
+	if size < 0 {
+		return ioev.Op{}, fmt.Errorf("nvme: negative size %d", size)
+	}
 	old := d.blobs[name]
 	next := d.used - old + size
 	if next > d.spec.CapacityBytes {
-		d.mu.Unlock()
-		return 0, fmt.Errorf("nvme: %s full: %d + %d > %d", d.spec.Name, d.used, size-old, d.spec.CapacityBytes)
+		return ioev.Op{}, fmt.Errorf("nvme: %s full: %d + %d > %d", d.spec.Name, d.used, size-old, d.spec.CapacityBytes)
 	}
 	d.blobs[name] = size
 	d.used = next
-	d.mu.Unlock()
-	_, end := d.queue.Reserve(ready, d.writeTime(size))
-	return end, nil
+	_, end := d.queue.Reserve(dep.Time(), d.writeTime(size))
+	return ioev.At(end), nil
 }
 
-// Get reads a named blob, returning its size and the completion time.
-func (d *Device) Get(name string, ready vclock.Time) (int64, vclock.Time, error) {
-	d.mu.Lock()
-	size, ok := d.blobs[name]
-	d.mu.Unlock()
-	if !ok {
-		return 0, 0, fmt.Errorf("nvme: blob %q not found", name)
+// SubmitUpdate issues a partial write after dep without parking: the blob's
+// accounted size becomes size, but only written bytes cross the device (an
+// in-place append or range update, e.g. a container block flush). Fails
+// (without advancing time) if the new size would overflow the device.
+func (d *Device) SubmitUpdate(dep ioev.Op, name string, size, written int64) (ioev.Op, error) {
+	if size < 0 || written < 0 {
+		return ioev.Op{}, fmt.Errorf("nvme: negative size %d/%d", size, written)
 	}
-	_, end := d.queue.Reserve(ready, d.readTime(size))
-	return size, end, nil
+	old := d.blobs[name]
+	next := d.used - old + size
+	if next > d.spec.CapacityBytes {
+		return ioev.Op{}, fmt.Errorf("nvme: %s full: %d + %d > %d", d.spec.Name, d.used, size-old, d.spec.CapacityBytes)
+	}
+	d.blobs[name] = size
+	d.used = next
+	_, end := d.queue.Reserve(dep.Time(), d.writeTime(written))
+	return ioev.At(end), nil
+}
+
+// Get reads a named blob, parking the caller until the read command
+// completes, and returns its size.
+func (d *Device) Get(p ioev.Proc, name string) (int64, error) {
+	size, op, err := d.SubmitGet(ioev.Start(p), name)
+	if err != nil {
+		return 0, err
+	}
+	ioev.Await(p, op)
+	return size, nil
+}
+
+// SubmitGet issues a read command after dep without parking, returning the
+// blob size and the completion token.
+func (d *Device) SubmitGet(dep ioev.Op, name string) (int64, ioev.Op, error) {
+	size, ok := d.blobs[name]
+	if !ok {
+		return 0, ioev.Op{}, fmt.Errorf("nvme: blob %q not found", name)
+	}
+	_, end := d.queue.Reserve(dep.Time(), d.readTime(size))
+	return size, ioev.At(end), nil
 }
 
 // Has reports whether a blob exists.
 func (d *Device) Has(name string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	_, ok := d.blobs[name]
 	return ok
 }
 
 // Delete removes a blob (no-op if absent) at negligible cost.
 func (d *Device) Delete(name string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if size, ok := d.blobs[name]; ok {
 		d.used -= size
 		delete(d.blobs, name)
@@ -139,15 +172,9 @@ func (d *Device) Delete(name string) {
 // DropAll clears the device — used by failure injection to model a node loss
 // taking its local checkpoints with it.
 func (d *Device) DropAll() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.blobs = map[string]int64{}
 	d.used = 0
 }
 
 // Blobs returns the number of stored blobs.
-func (d *Device) Blobs() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.blobs)
-}
+func (d *Device) Blobs() int { return len(d.blobs) }

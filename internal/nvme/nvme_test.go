@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/vclock"
 )
 
@@ -21,14 +22,14 @@ func TestP3700Spec(t *testing.T) {
 func TestPutGetTiming(t *testing.T) {
 	d := New(P3700())
 	const size = 1900 * 1000 * 1000 // 1.9 GB: exactly 1 s at write bandwidth
-	done, err := d.Put("ckpt", size, 0)
-	if err != nil {
+	a := ioev.Detach(nil, 0)
+	if err := d.Put(a, "ckpt", size); err != nil {
 		t.Fatal(err)
 	}
-	if got := done.Seconds(); math.Abs(got-1.0) > 0.01 {
+	if got := a.Now().Seconds(); math.Abs(got-1.0) > 0.01 {
 		t.Errorf("1.9 GB write took %vs, want ~1s", got)
 	}
-	n, rdone, err := d.Get("ckpt", done)
+	n, err := d.Get(a, "ckpt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,21 +37,22 @@ func TestPutGetTiming(t *testing.T) {
 		t.Errorf("got %d bytes", n)
 	}
 	wantRead := 1.0 + float64(size)/(2.7e9)
-	if got := rdone.Seconds(); math.Abs(got-wantRead) > 0.02 {
+	if got := a.Now().Seconds(); math.Abs(got-wantRead) > 0.02 {
 		t.Errorf("read done at %vs, want ~%vs", got, wantRead)
 	}
 }
 
 func TestCapacityEnforced(t *testing.T) {
 	d := New(Spec{Name: "tiny", CapacityBytes: 100, WriteGBs: 1, ReadGBs: 1})
-	if _, err := d.Put("a", 60, 0); err != nil {
+	a := ioev.Detach(nil, 0)
+	if err := d.Put(a, "a", 60); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Put("b", 60, 0); err == nil {
+	if err := d.Put(a, "b", 60); err == nil {
 		t.Fatal("overflow accepted")
 	}
 	// Overwriting a blob replaces, not adds.
-	if _, err := d.Put("a", 90, 0); err != nil {
+	if err := d.Put(a, "a", 90); err != nil {
 		t.Fatalf("overwrite rejected: %v", err)
 	}
 	if d.Used() != 90 {
@@ -60,8 +62,9 @@ func TestCapacityEnforced(t *testing.T) {
 
 func TestDeleteAndDropAll(t *testing.T) {
 	d := New(P3700())
-	d.Put("x", 1000, 0)
-	d.Put("y", 2000, 0)
+	a := ioev.Detach(nil, 0)
+	d.Put(a, "x", 1000)
+	d.Put(a, "y", 2000)
 	if d.Blobs() != 2 {
 		t.Fatalf("blobs = %d", d.Blobs())
 	}
@@ -78,7 +81,7 @@ func TestDeleteAndDropAll(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	d := New(P3700())
-	if _, _, err := d.Get("nope", 0); err == nil {
+	if _, err := d.Get(ioev.Detach(nil, 0), "nope"); err == nil {
 		t.Fatal("missing blob read succeeded")
 	}
 }
@@ -87,16 +90,27 @@ func TestQueueSerialises(t *testing.T) {
 	// Two simultaneous writes must not overlap on the device.
 	d := New(P3700())
 	const size = 190 * 1000 * 1000 // 0.1 s each
-	t1, _ := d.Put("a", size, 0)
-	t2, _ := d.Put("b", size, 0)
-	if gap := (t2 - t1).Seconds(); math.Abs(gap-0.1) > 0.01 {
+	op1, _ := d.SubmitPut(ioev.At(0), "a", size)
+	op2, _ := d.SubmitPut(ioev.At(0), "b", size)
+	if gap := (op2.Time() - op1.Time()).Seconds(); math.Abs(gap-0.1) > 0.01 {
 		t.Errorf("second write finished %vs after first, want ~0.1s", gap)
+	}
+}
+
+func TestFailedPutAdvancesNoTime(t *testing.T) {
+	d := New(Spec{Name: "tiny", CapacityBytes: 100, WriteGBs: 1, ReadGBs: 1})
+	a := ioev.Detach(nil, 0)
+	if err := d.Put(a, "big", 200); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if a.Now() != 0 {
+		t.Errorf("failed put advanced the clock to %v", a.Now())
 	}
 }
 
 func TestNegativeSizeRejected(t *testing.T) {
 	d := New(P3700())
-	if _, err := d.Put("bad", -1, 0); err == nil {
+	if err := d.Put(ioev.Detach(nil, 0), "bad", -1); err == nil {
 		t.Fatal("negative size accepted")
 	}
 }
@@ -107,8 +121,9 @@ func TestQuickUsedNeverExceedsCapacity(t *testing.T) {
 		Size uint32
 	}) bool {
 		d := New(Spec{Name: "q", CapacityBytes: 1 << 20, WriteGBs: 1, ReadGBs: 1, CmdLatency: vclock.Microsecond})
+		a := ioev.Detach(nil, 0)
 		for _, op := range ops {
-			d.Put(string(rune('a'+op.Name%8)), int64(op.Size), 0) // errors fine
+			d.Put(a, string(rune('a'+op.Name%8)), int64(op.Size)) // errors fine
 			if d.Used() > d.Spec().CapacityBytes || d.Used() < 0 {
 				return false
 			}

@@ -302,3 +302,154 @@ func TestDefaultWorkersIsNodeCores(t *testing.T) {
 		return nil
 	})
 }
+
+func TestRunWithOffloadNilInter(t *testing.T) {
+	withProc(t, false, func(p *psmpi.Proc) error {
+		g := NewGraph(p, 1)
+		g.AddOffload("k", nil, w(1e6), 0, 0, nil)
+		if _, err := g.RunWithOffload(nil, 0); err == nil {
+			t.Error("nil inter-communicator not rejected")
+		}
+		return nil
+	})
+}
+
+func TestOffloadRetryRealWorker(t *testing.T) {
+	// A snapshot-protected offload task that fails once must re-ship through
+	// the inter-communicator: two full request/compute/reply round trips on
+	// the kernel, costing at least two remote executions.
+	sys := machine.New(2, 2)
+	rt := psmpi.NewRuntime(sys, fabric.New(sys, fabric.Config{}), psmpi.Config{})
+	rt.Register("omps_worker", WorkerMain)
+	_, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: sys.Module(machine.Cluster)[:1],
+		Main: func(p *psmpi.Proc) error {
+			inter, err := p.Spawn(p.World(), psmpi.SpawnSpec{
+				Binary: "omps_worker", Procs: 1, Module: machine.Booster,
+			})
+			if err != nil {
+				return err
+			}
+			g := NewGraph(p, 1)
+			tk := g.AddOffload("kernel", nil, w(3e9), 64<<10, 64<<10, nil)
+			tk.Snapshot = true
+			tk.SnapshotBytes = 64 << 10
+			g.InjectFailure("kernel")
+			res, err := g.RunWithOffload(inter, 0)
+			if err != nil {
+				return err
+			}
+			if res.Retried != 1 || tk.Retries != 1 {
+				t.Errorf("retries: res=%d task=%d", res.Retried, tk.Retries)
+			}
+			remote := machine.BoosterNode().ComputeTime(w(3e9))
+			if res.Makespan < 2*remote {
+				t.Errorf("retried offload makespan %v below 2 remote executions %v", res.Makespan, 2*remote)
+			}
+			StopWorker(p, inter, 0)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffloadAnalyticFromBooster(t *testing.T) {
+	// The reverse direction: a Booster rank offloading toward the Cluster
+	// prices its transfers against a Cluster node and computes at Haswell
+	// speed.
+	withProc(t, true, func(p *psmpi.Proc) error {
+		g := NewGraph(p, 1)
+		g.AddOffload("k", nil, w(3e9), 1<<20, 1<<20, nil)
+		res, err := g.Run()
+		if err != nil {
+			return err
+		}
+		remote := machine.ClusterNode().ComputeTime(w(3e9))
+		if res.Makespan < remote {
+			t.Errorf("makespan %v below Cluster compute %v", res.Makespan, remote)
+		}
+		return nil
+	})
+}
+
+func TestOffloadWithoutOtherModule(t *testing.T) {
+	// On a Cluster-only system the offload transfers have nowhere to go and
+	// cost nothing; only the (remote-priced) compute remains.
+	sys := machine.New(1, 0)
+	rt := psmpi.NewRuntime(sys, fabric.New(sys, fabric.Config{}), psmpi.Config{})
+	_, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: sys.Module(machine.Cluster)[:1],
+		Main: func(p *psmpi.Proc) error {
+			g := NewGraph(p, 1)
+			g.AddOffload("k", nil, w(3e9), 1<<20, 1<<20, nil)
+			res, err := g.Run()
+			if err != nil {
+				return err
+			}
+			want := machine.BoosterNode().ComputeTime(w(3e9))
+			if res.Makespan != want {
+				t.Errorf("makespan %v, want bare remote compute %v", res.Makespan, want)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerWithoutParent(t *testing.T) {
+	// WorkerMain launched as a top-level job (no spawning parent) must fail
+	// cleanly instead of blocking on a receive that can never match.
+	sys := machine.New(1, 0)
+	rt := psmpi.NewRuntime(sys, fabric.New(sys, fabric.Config{}), psmpi.Config{})
+	_, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: sys.Module(machine.Cluster)[:1],
+		Main:  WorkerMain,
+	})
+	if err == nil {
+		t.Fatal("parentless worker did not fail")
+	}
+}
+
+func TestGraphsOnManyRanks(t *testing.T) {
+	// Four ranks each run their own task graph inside one kernel-scheduled
+	// job, then exchange results: graph execution must compose with the
+	// cooperative kernel (clock advances are per-rank, collectives still
+	// line up afterwards).
+	sys := machine.New(4, 0)
+	rt := psmpi.NewRuntime(sys, fabric.New(sys, fabric.Config{}), psmpi.Config{})
+	res, err := rt.Launch(psmpi.LaunchSpec{
+		Nodes: sys.Module(machine.Cluster)[:4],
+		Main: func(p *psmpi.Proc) error {
+			g := NewGraph(p, 2)
+			// Rank r runs r+1 dependent tasks: unequal per-rank schedules.
+			for i := 0; i <= p.Rank(); i++ {
+				g.Add("step", []Dep{{"s", InOut}}, w(3e7), nil)
+			}
+			gr, err := g.Run()
+			if err != nil {
+				return err
+			}
+			one := p.Node().Spec.ComputeTime(w(3e7))
+			if want := vclock.Time(p.Rank()+1) * one; gr.Makespan != want {
+				t.Errorf("rank %d makespan %v, want %v", p.Rank(), gr.Makespan, want)
+			}
+			buf := []float64{float64(gr.Makespan)}
+			p.AllreduceF64(p.World(), buf, psmpi.OpMax)
+			// The slowest rank (3) ran 4 serialised tasks.
+			if got := vclock.Time(buf[0]); got != 4*one {
+				t.Errorf("max graph makespan %v, want %v", got, 4*one)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan == 0 {
+		t.Error("job makespan did not advance")
+	}
+}

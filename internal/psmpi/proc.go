@@ -129,6 +129,16 @@ func (p *Proc) Elapse(d vclock.Time) {
 	p.task.SleepUntil(p.clock.Now())
 }
 
+// CallAt schedules fn to run as a kernel event at virtual time at, holding
+// the baton: no rank executes while the callback runs, so fn may touch any
+// model state. Storage models use this to fire completion-side bookkeeping
+// (e.g. a cache domain marking a flush durable) at the instant it happens
+// in virtual time rather than the instant it was issued. A callback still
+// pending when the job's last rank exits never runs.
+func (p *Proc) CallAt(at vclock.Time, fn func()) {
+	p.l.eng.CallAt(at, fn)
+}
+
 // elapseComm advances the clock to t (if later) and accounts the delta as
 // communication time.
 func (p *Proc) elapseComm(t vclock.Time) {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/scr"
@@ -269,11 +270,14 @@ type scrStore struct {
 	restoreMax vclock.Time
 }
 
-// Save writes one rank's snapshot at the step's planned levels.
+// Save writes one rank's snapshot at the step's planned levels. The
+// submit/await split matters here: the durable instant is recorded before
+// the rank parks, so a failure that kills the rank mid-checkpoint still
+// leaves the span accounting of the work that was issued.
 func (st *scrStore) Save(p *psmpi.Proc, rank, step int, data []byte) error {
 	levels := st.mgr.BeginCheckpoint(step)
 	start := p.Now()
-	done, err := st.mgr.Checkpoint(rank, step, data, levels, start)
+	op, err := st.mgr.SubmitCheckpoint(ioev.Start(p), rank, step, data, levels)
 	if err != nil {
 		return err
 	}
@@ -281,8 +285,8 @@ func (st *scrStore) Save(p *psmpi.Proc, rank, step int, data []byte) error {
 		st.flush()
 		st.curStep, st.curBegin, st.curEnd = step, start, start
 	}
-	st.note(step, done)
-	p.Elapse(done - start)
+	st.note(step, op.Time())
+	ioev.Await(p, op)
 	return nil
 }
 
@@ -291,28 +295,27 @@ func (st *scrStore) Save(p *psmpi.Proc, rank, step int, data []byte) error {
 // collective checkpoint, so a partial one — cut down by a failure — never
 // inflates the count.
 func (st *scrStore) Complete(p *psmpi.Proc, step int) error {
-	start := p.Now()
-	done, err := st.mgr.CompleteGlobal(step, 0, start)
+	op, err := st.mgr.SubmitCompleteGlobal(ioev.Start(p), step, 0)
 	if err != nil {
 		return err
 	}
-	st.note(step, done)
+	st.note(step, op.Time())
 	st.ckptCount++
-	p.Elapse(done - start)
+	ioev.Await(p, op)
 	return nil
 }
 
 // Load restores one rank from the level BestRestart chose for it.
 func (st *scrStore) Load(p *psmpi.Proc, rank int) ([]byte, error) {
 	start := p.Now()
-	data, done, err := st.mgr.Restore(rank, st.loadStep, st.loadLevels[rank], start)
+	data, op, err := st.mgr.SubmitRestore(ioev.Start(p), rank, st.loadStep, st.loadLevels[rank])
 	if err != nil {
 		return nil, err
 	}
-	if d := done - start; d > st.restoreMax {
+	if d := op.Time() - start; d > st.restoreMax {
 		st.restoreMax = d
 	}
-	p.Elapse(done - start)
+	ioev.Await(p, op)
 	return data, nil
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/sion"
@@ -184,25 +185,44 @@ func (m *Manager) BeginCheckpoint(step int) []Level {
 	return append([]Level(nil), levels...)
 }
 
-// Checkpoint writes one rank's state for a step at the given levels, and
-// returns the time at which the slowest requested level is durable.
-func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready vclock.Time) (vclock.Time, error) {
+// Checkpoint writes one rank's state for a step at the given levels,
+// parking the caller until the slowest requested level is durable. The
+// levels are submitted concurrently from the call instant — a local NVMe
+// put, a buddy copy and a global container write all overlap, joining at a
+// single park — and the rank's node is taken from the manager's rank map,
+// so detached actors (sweep post-run pricing, tests) need no node of their
+// own.
+func (m *Manager) Checkpoint(p ioev.Proc, rank, step int, data []byte, levels []Level) error {
+	op, err := m.SubmitCheckpoint(ioev.Start(p), rank, step, data, levels)
+	if err != nil {
+		return err
+	}
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitCheckpoint issues one rank's checkpoint after dep without parking,
+// returning the token of the slowest requested level. Callers that must
+// record the durable instant before yielding — a failure may kill the rank
+// mid-park — use this form and Await themselves.
+func (m *Manager) SubmitCheckpoint(dep ioev.Op, rank, step int, data []byte, levels []Level) (ioev.Op, error) {
 	rec, ok := m.records[step]
 	if !ok {
-		return 0, fmt.Errorf("scr: checkpoint for step %d not begun", step)
+		return ioev.Op{}, fmt.Errorf("scr: checkpoint for step %d not begun", step)
 	}
 	node := m.nodes[rank]
-	done := ready
+	start := dep
+	done := start
 	for _, lv := range levels {
 		switch lv {
 		case LevelLocal:
-			t, err := m.devs[node.ID].Put(key(step, rank), int64(len(data)), ready)
+			op, err := m.devs[node.ID].SubmitPut(start, key(step, rank), int64(len(data)))
 			if err != nil {
-				return 0, fmt.Errorf("scr: local level: %w", err)
+				return ioev.Op{}, fmt.Errorf("scr: local level: %w", err)
 			}
 			m.local[key(step, rank)] = append([]byte(nil), data...)
 			rec.localValid[rank] = true
-			done = vclock.Max(done, t)
+			done = ioev.After(done, op)
 		case LevelBuddy:
 			b := m.BuddyOf(rank)
 			bn := m.nodes[b]
@@ -210,33 +230,33 @@ func (m *Manager) Checkpoint(rank, step int, data []byte, levels []Level, ready 
 				// Single-node job: a buddy copy adds nothing.
 				continue
 			}
-			t, err := sion.Buddy(m.net, node, bn, m.devs[bn.ID], key(step, rank)+"/buddy", data, ready)
+			op, err := sion.SubmitBuddy(m.net, node, bn, m.devs[bn.ID], key(step, rank)+"/buddy", data, start)
 			if err != nil {
-				return 0, fmt.Errorf("scr: buddy level: %w", err)
+				return ioev.Op{}, fmt.Errorf("scr: buddy level: %w", err)
 			}
 			m.buddy[key(step, rank)] = append([]byte(nil), data...)
 			rec.buddyValid[rank] = true
-			done = vclock.Max(done, t)
+			done = ioev.After(done, op)
 		case LevelGlobal:
-			t, err := m.writeGlobal(rec, rank, data, ready)
+			op, err := m.submitGlobal(rec, rank, data, start)
 			if err != nil {
-				return 0, err
+				return ioev.Op{}, err
 			}
-			done = vclock.Max(done, t)
+			done = ioev.After(done, op)
 		default:
-			return 0, fmt.Errorf("scr: unknown level %v", lv)
+			return ioev.Op{}, fmt.Errorf("scr: unknown level %v", lv)
 		}
 	}
 	return done, nil
 }
 
-// writeGlobal streams one rank's chunk into the step's SION container.
-// Containers are created lazily and closed by CompleteGlobal. A new
-// checkpoint round for the step — a restart replay re-executing it, detected
-// by a rank writing twice, or a fresh write after a seal — replaces the
-// container: Create truncates the path, so the previous round's chunks (and
-// their validity) are gone.
-func (m *Manager) writeGlobal(rec *record, rank int, data []byte, ready vclock.Time) (vclock.Time, error) {
+// submitGlobal streams one rank's chunk into the step's SION container,
+// issued after dep without parking. Containers are created lazily and
+// closed by CompleteGlobal. A new checkpoint round for the step — a restart
+// replay re-executing it, detected by a rank writing twice, or a fresh
+// write after a seal — replaces the container: Create truncates the path,
+// so the previous round's chunks (and their validity) are gone.
+func (m *Manager) submitGlobal(rec *record, rank int, data []byte, dep ioev.Op) (ioev.Op, error) {
 	w := m.writers[rec.globalPath]
 	if w != nil && rec.globalWrote[rank] {
 		delete(m.writers, rec.globalPath)
@@ -244,9 +264,13 @@ func (m *Manager) writeGlobal(rec *record, rank int, data []byte, ready vclock.T
 	}
 	if w == nil {
 		var err error
-		w, _, err = sion.Create(m.fs, rec.globalPath, len(m.nodes), 64<<10, m.nodes[rank], ready)
+		// The create's metadata round trip is deliberately not joined: the
+		// container write below prices the rank's durability, matching
+		// SIONlib's collective open hiding the create behind the first
+		// chunk.
+		w, _, err = sion.SubmitCreate(m.fs, rec.globalPath, len(m.nodes), 64<<10, m.nodes[rank], dep)
 		if err != nil {
-			return 0, fmt.Errorf("scr: global container: %w", err)
+			return ioev.Op{}, fmt.Errorf("scr: global container: %w", err)
 		}
 		m.writers[rec.globalPath] = w
 		rec.globalSealed = false
@@ -255,32 +279,46 @@ func (m *Manager) writeGlobal(rec *record, rank int, data []byte, ready vclock.T
 			rec.globalValid[i] = false
 		}
 	}
-	t, err := w.WriteTask(rank, data, m.nodes[rank], ready)
+	op, err := w.SubmitWriteTask(dep, rank, data, m.nodes[rank])
 	if err != nil {
-		return 0, fmt.Errorf("scr: global level: %w", err)
+		return ioev.Op{}, fmt.Errorf("scr: global level: %w", err)
 	}
 	rec.globalValid[rank] = true
 	rec.globalWrote[rank] = true
-	return t, nil
+	return op, nil
 }
 
 // CompleteGlobal closes the step's global container (call once after all
-// ranks contributed, e.g. from rank 0 after a barrier). Only a completed
+// ranks contributed, e.g. from rank 0 after a barrier), parking the caller
+// until the container is sealed on the file system. Only a completed
 // container is restorable: a failure that strikes between the writes and
 // this call leaves the step's global level unusable, and BestRestart skips
-// it.
-func (m *Manager) CompleteGlobal(step, rank int, ready vclock.Time) (vclock.Time, error) {
+// it. With no open container the call is still a scheduling point
+// (Elapse(0)), like a collective that finds nothing to do.
+func (m *Manager) CompleteGlobal(p ioev.Proc, step, rank int) error {
+	op, err := m.SubmitCompleteGlobal(ioev.Start(p), step, rank)
+	if err != nil {
+		return err
+	}
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitCompleteGlobal seals the step's global container after dep without
+// parking, returning the seal's completion token (dep itself when there is
+// nothing to close).
+func (m *Manager) SubmitCompleteGlobal(dep ioev.Op, step, rank int) (ioev.Op, error) {
 	rec, ok := m.records[step]
 	if !ok {
-		return ready, nil
+		return dep, nil
 	}
 	w := m.writers[rec.globalPath]
 	delete(m.writers, rec.globalPath)
 	rec.globalSealed = true
 	if w == nil {
-		return ready, nil
+		return dep, nil
 	}
-	return w.Close(m.nodes[rank], ready)
+	return w.SubmitClose(dep, m.nodes[rank])
 }
 
 // FailNode models the loss of a node: its NVMe contents vanish, invalidating
@@ -358,49 +396,60 @@ func (m *Manager) BestRestart() (step int, levels []Level, ok bool) {
 }
 
 // Restore fetches one rank's checkpoint of the given step from the given
-// level, returning the data and completion time.
-func (m *Manager) Restore(rank, step int, lv Level, ready vclock.Time) ([]byte, vclock.Time, error) {
+// level, parking the caller until the data has arrived on the rank's node.
+func (m *Manager) Restore(p ioev.Proc, rank, step int, lv Level) ([]byte, error) {
+	data, op, err := m.SubmitRestore(ioev.Start(p), rank, step, lv)
+	if err != nil {
+		return nil, err
+	}
+	ioev.Await(p, op)
+	return data, nil
+}
+
+// SubmitRestore issues one rank's restore after dep without parking,
+// returning the data and the arrival token.
+func (m *Manager) SubmitRestore(dep ioev.Op, rank, step int, lv Level) ([]byte, ioev.Op, error) {
 	node := m.nodes[rank]
 	switch lv {
 	case LevelLocal:
 		data, ok := m.local[key(step, rank)]
 		if !ok {
-			return nil, 0, fmt.Errorf("scr: no local checkpoint for rank %d step %d", rank, step)
+			return nil, ioev.Op{}, fmt.Errorf("scr: no local checkpoint for rank %d step %d", rank, step)
 		}
-		_, t, err := m.devs[node.ID].Get(key(step, rank), ready)
+		_, op, err := m.devs[node.ID].SubmitGet(dep, key(step, rank))
 		if err != nil {
-			return nil, 0, err
+			return nil, ioev.Op{}, err
 		}
-		return append([]byte(nil), data...), t, nil
+		return append([]byte(nil), data...), op, nil
 	case LevelBuddy:
 		data, ok := m.buddy[key(step, rank)]
 		if !ok {
-			return nil, 0, fmt.Errorf("scr: no buddy checkpoint for rank %d step %d", rank, step)
+			return nil, ioev.Op{}, fmt.Errorf("scr: no buddy checkpoint for rank %d step %d", rank, step)
 		}
 		bn := m.nodes[m.BuddyOf(rank)]
-		_, t, err := m.devs[bn.ID].Get(key(step, rank)+"/buddy", ready)
+		_, op, err := m.devs[bn.ID].SubmitGet(dep, key(step, rank)+"/buddy")
 		if err != nil {
-			return nil, 0, err
+			return nil, ioev.Op{}, err
 		}
 		// Ship it back across the fabric to the restarting rank.
-		_, arrival := m.net.Rendezvous(bn, node, len(data), t, t)
-		return append([]byte(nil), data...), arrival, nil
+		_, arrival := m.net.Rendezvous(bn, node, len(data), op.Time(), op.Time())
+		return append([]byte(nil), data...), ioev.At(arrival), nil
 	case LevelGlobal:
 		rec, ok := m.records[step]
 		if !ok {
-			return nil, 0, fmt.Errorf("scr: unknown step %d", step)
+			return nil, ioev.Op{}, fmt.Errorf("scr: unknown step %d", step)
 		}
-		r, t, err := sion.OpenRead(m.fs, rec.globalPath, node, ready)
+		r, t, err := sion.SubmitOpenRead(m.fs, rec.globalPath, node, dep)
 		if err != nil {
-			return nil, 0, fmt.Errorf("scr: global restore: %w", err)
+			return nil, ioev.Op{}, fmt.Errorf("scr: global restore: %w", err)
 		}
-		data, t2, err := r.ReadTask(rank, node, t)
+		data, t2, err := r.SubmitReadTask(t, rank, node)
 		if err != nil {
-			return nil, 0, err
+			return nil, ioev.Op{}, err
 		}
 		return data, t2, nil
 	default:
-		return nil, 0, fmt.Errorf("scr: unknown level %v", lv)
+		return nil, ioev.Op{}, fmt.Errorf("scr: unknown level %v", lv)
 	}
 }
 

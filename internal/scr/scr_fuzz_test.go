@@ -6,6 +6,7 @@ import (
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/vclock"
@@ -167,22 +168,22 @@ func FuzzBestRestart(f *testing.F) {
 				step := int(op&0x07) + 1
 				rank := int(op>>3) % ranks
 				levels := m.BeginCheckpoint(step)
-				done, err := m.Checkpoint(rank, step, payload(step, rank), levels, now)
-				if err != nil {
+				a := ioev.Detach(nil, now)
+				if err := m.Checkpoint(a, rank, step, payload(step, rank), levels); err != nil {
 					t.Fatalf("checkpoint step %d rank %d: %v", step, rank, err)
 				}
-				if done < now {
-					t.Fatalf("checkpoint completed at %v, before its start %v", done, now)
+				if a.Now() < now {
+					t.Fatalf("checkpoint completed at %v, before its start %v", a.Now(), now)
 				}
-				now = done
+				now = a.Now()
 				oracle.checkpoint(step, rank, levels)
 			case op < 0xA0: // seal a step's global container
 				step := int(op&0x07) + 1
-				done, err := m.CompleteGlobal(step, 0, now)
-				if err != nil {
+				a := ioev.Detach(nil, now)
+				if err := m.CompleteGlobal(a, step, 0); err != nil {
 					t.Fatalf("complete step %d: %v", step, err)
 				}
-				now = vclock.Max(now, done)
+				now = vclock.Max(now, a.Now())
 				oracle.seal(step)
 			default: // fail a node
 				node := int(op) % ranks
@@ -209,7 +210,7 @@ func FuzzBestRestart(f *testing.F) {
 			}
 			// Prove the plan: every rank restores its own bytes.
 			for rank := 0; rank < ranks; rank++ {
-				data, _, err := m.Restore(rank, step, levels[rank], now)
+				data, err := m.Restore(ioev.Detach(nil, now), rank, step, levels[rank])
 				if err != nil {
 					t.Fatalf("restore step %d rank %d from %v: %v", step, rank, levels[rank], err)
 				}

@@ -8,6 +8,7 @@ import (
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/vclock"
@@ -35,19 +36,19 @@ func ckptAll(t *testing.T, m *Manager, step int, data []byte, ready vclock.Time)
 	levels := m.BeginCheckpoint(step)
 	var done vclock.Time
 	for rank := 0; rank < m.Ranks(); rank++ {
-		d, err := m.Checkpoint(rank, step, data, levels, ready)
-		if err != nil {
+		a := ioev.Detach(nil, ready)
+		if err := m.Checkpoint(a, rank, step, data, levels); err != nil {
 			t.Fatal(err)
 		}
-		done = vclock.Max(done, d)
+		done = vclock.Max(done, a.Now())
 	}
 	for _, lv := range levels {
 		if lv == LevelGlobal {
-			d, err := m.CompleteGlobal(step, 0, done)
-			if err != nil {
+			a := ioev.Detach(nil, done)
+			if err := m.CompleteGlobal(a, step, 0); err != nil {
 				t.Fatal(err)
 			}
-			done = vclock.Max(done, d)
+			done = vclock.Max(done, a.Now())
 		}
 	}
 	return done
@@ -82,11 +83,12 @@ func TestLocalRestore(t *testing.T) {
 		if levels[rank] != LevelLocal {
 			t.Errorf("rank %d level = %v, want local", rank, levels[rank])
 		}
-		got, done, err := m.Restore(rank, step, levels[rank], 0)
+		a := ioev.Detach(nil, 0)
+		got, err := m.Restore(a, rank, step, levels[rank])
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("restore rank %d: %q, %v", rank, got, err)
 		}
-		if done <= 0 {
+		if a.Now() <= 0 {
 			t.Error("restore was free")
 		}
 	}
@@ -111,7 +113,7 @@ func TestBuddySurvivesNodeFailure(t *testing.T) {
 		// rank 1's local copy was untouched.
 		t.Errorf("rank 1 should restore locally, got %v", levels[1])
 	}
-	got, _, err := m.Restore(0, step, LevelBuddy, 0)
+	got, err := m.Restore(ioev.Detach(nil, 0), 0, step, LevelBuddy)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("buddy restore: %q, %v", got, err)
 	}
@@ -133,7 +135,7 @@ func TestGlobalSurvivesEverything(t *testing.T) {
 		if levels[rank] != LevelGlobal {
 			t.Errorf("rank %d level = %v, want global", rank, levels[rank])
 		}
-		got, _, err := m.Restore(rank, step, LevelGlobal, 0)
+		got, err := m.Restore(ioev.Detach(nil, 0), rank, step, LevelGlobal)
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("global restore rank %d: %v", rank, err)
 		}
@@ -191,11 +193,11 @@ func TestLevelCosts(t *testing.T) {
 func TestSingleNodeJobSkipsBuddy(t *testing.T) {
 	m, _ := testMgr(t, 1, Config{BuddyEvery: 1})
 	levels := m.BeginCheckpoint(1)
-	done, err := m.Checkpoint(0, 1, []byte("solo"), levels, 0)
-	if err != nil {
+	a := ioev.Detach(nil, 0)
+	if err := m.Checkpoint(a, 0, 1, []byte("solo"), levels); err != nil {
 		t.Fatal(err)
 	}
-	if done <= 0 {
+	if a.Now() <= 0 {
 		t.Error("no cost at all")
 	}
 	// Restart must come from local (no buddy recorded).
@@ -229,7 +231,7 @@ func TestOptimalInterval(t *testing.T) {
 
 func TestCheckpointWithoutBegin(t *testing.T) {
 	m, _ := testMgr(t, 1, Config{})
-	if _, err := m.Checkpoint(0, 99, []byte("x"), []Level{LevelLocal}, 0); err == nil {
+	if err := m.Checkpoint(ioev.Detach(nil, 0), 0, 99, []byte("x"), []Level{LevelLocal}); err == nil {
 		t.Fatal("checkpoint without BeginCheckpoint accepted")
 	}
 }
@@ -258,7 +260,7 @@ func TestManyStepsRetained(t *testing.T) {
 	if !ok || step != 10 {
 		t.Fatalf("best = %d", step)
 	}
-	got, _, err := m.Restore(1, 4, LevelLocal, 0)
+	got, err := m.Restore(ioev.Detach(nil, 0), 1, 4, LevelLocal)
 	if err != nil || string(got) != "step 4" {
 		t.Fatalf("old step restore: %q %v", got, err)
 	}

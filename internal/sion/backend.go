@@ -2,21 +2,19 @@ package sion
 
 import (
 	"fmt"
-	"sync"
 
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
-	"clusterbooster/internal/vclock"
 )
 
 // DeviceBackend adapts a node-local NVMe device to the Backend interface, so
 // SION containers (e.g. local checkpoints) can live on node-local storage.
-// Content is kept alongside the device's capacity accounting.
+// Content is kept alongside the device's capacity accounting. Like the
+// device itself it is mutex-free: the cooperative kernel serialises access.
 type DeviceBackend struct {
-	dev *nvme.Device
-
-	mu    sync.Mutex
+	dev   *nvme.Device
 	files map[string][]byte
 }
 
@@ -28,61 +26,55 @@ func NewDeviceBackend(dev *nvme.Device) *DeviceBackend {
 // Device returns the underlying device.
 func (d *DeviceBackend) Device() *nvme.Device { return d.dev }
 
-// Create makes an empty file on the device.
-func (d *DeviceBackend) Create(path string, node *machine.Node, ready vclock.Time) vclock.Time {
-	d.mu.Lock()
+// SubmitCreate makes an empty file on the device after dep; the node is
+// irrelevant for node-local storage.
+func (d *DeviceBackend) SubmitCreate(dep ioev.Op, path string, node *machine.Node) ioev.Op {
 	d.files[path] = nil
-	d.mu.Unlock()
-	done, err := d.dev.Put("file:"+path, 0, ready)
+	op, err := d.dev.SubmitPut(dep, "file:"+path, 0)
 	if err != nil {
-		return ready
+		return dep
 	}
-	return done
+	return op
 }
 
-// Write stores data at offset, growing the file; time is the device write.
-func (d *DeviceBackend) Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
-	d.mu.Lock()
+// SubmitWrite stores data at offset after dep, growing the file; the cost
+// is the device write of the updated range.
+func (d *DeviceBackend) SubmitWrite(dep ioev.Op, path string, offset int64, data []byte, node *machine.Node) (ioev.Op, error) {
 	f, ok := d.files[path]
 	if !ok {
-		d.mu.Unlock()
-		return 0, fmt.Errorf("sion: device file %s does not exist", path)
+		return ioev.Op{}, fmt.Errorf("sion: device file %s does not exist", path)
 	}
 	if grow := offset + int64(len(data)) - int64(len(f)); grow > 0 {
 		f = append(f, make([]byte, grow)...)
 	}
 	copy(f[offset:], data)
 	d.files[path] = f
-	size := int64(len(f))
-	d.mu.Unlock()
-	done, err := d.dev.Put("file:"+path, size, ready)
+	// Price only the bytes crossing the device: a block flush is an
+	// in-place range write, not a rewrite of the whole container.
+	op, err := d.dev.SubmitUpdate(dep, "file:"+path, int64(len(f)), int64(len(data)))
 	if err != nil {
-		return 0, fmt.Errorf("sion: device write: %w", err)
+		return ioev.Op{}, fmt.Errorf("sion: device write: %w", err)
 	}
-	return done, nil
+	return op, nil
 }
 
-// Read returns size bytes at offset; time is the device read.
-func (d *DeviceBackend) Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
-	d.mu.Lock()
+// SubmitRead returns size bytes at offset after dep; the cost is the device
+// read.
+func (d *DeviceBackend) SubmitRead(dep ioev.Op, path string, offset, size int64, node *machine.Node) ([]byte, ioev.Op, error) {
 	f, ok := d.files[path]
-	if !ok || offset < 0 || offset+size > int64(len(f)) {
-		d.mu.Unlock()
-		return nil, 0, fmt.Errorf("sion: device read [%d,%d) of %s invalid", offset, offset+size, path)
+	if !ok || offset < 0 || size < 0 || offset+size > int64(len(f)) {
+		return nil, ioev.Op{}, fmt.Errorf("sion: device read [%d,%d) of %s invalid", offset, offset+size, path)
 	}
 	out := append([]byte(nil), f[offset:offset+size]...)
-	d.mu.Unlock()
-	_, done, err := d.dev.Get("file:"+path, ready)
+	_, op, err := d.dev.SubmitGet(dep, "file:"+path)
 	if err != nil {
-		return nil, 0, err
+		return nil, ioev.Op{}, err
 	}
-	return out, done, nil
+	return out, op, nil
 }
 
 // Size returns the file's size.
 func (d *DeviceBackend) Size(path string) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	f, ok := d.files[path]
 	if !ok {
 		return 0, fmt.Errorf("sion: device file %s does not exist", path)
@@ -91,18 +83,32 @@ func (d *DeviceBackend) Size(path string) (int64, error) {
 }
 
 // Buddy copies a task's local checkpoint data into the NVMe of a companion
-// node — the SIONlib buddy-checkpointing path of §III-C. The transfer crosses
-// the fabric from the owner to the buddy and then commits to the buddy's
-// device; the returned time is when the redundant copy is safe.
-func Buddy(net *fabric.Network, owner, buddy *machine.Node, buddyDev *nvme.Device, name string, data []byte, ready vclock.Time) (vclock.Time, error) {
+// node — the SIONlib buddy-checkpointing path of §III-C — parking the
+// caller until the redundant copy is safe.
+func Buddy(p ioev.Proc, net *fabric.Network, buddy *machine.Node, buddyDev *nvme.Device, name string, data []byte) error {
+	op, err := SubmitBuddy(net, p.Node(), buddy, buddyDev, name, data, ioev.Start(p))
+	if err != nil {
+		return err
+	}
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitBuddy issues the buddy copy after dep without parking: the transfer
+// crosses the fabric from the owner to the buddy and then commits to the
+// buddy's device queue at its arrival instant — all priced during the
+// owner's turn, so the redundant copy overlaps whatever else the owner
+// submits. The returned token is when the copy is safe.
+func SubmitBuddy(net *fabric.Network, owner, buddy *machine.Node, buddyDev *nvme.Device, name string, data []byte, dep ioev.Op) (ioev.Op, error) {
 	if owner.ID == buddy.ID {
-		return 0, fmt.Errorf("sion: buddy of %s is itself", owner.Name())
+		return ioev.Op{}, fmt.Errorf("sion: buddy of %s is itself", owner.Name())
 	}
 	// Fabric transfer owner → buddy (rendezvous bulk path).
-	_, arrival := net.Rendezvous(owner, buddy, len(data), ready, ready)
-	done, err := buddyDev.Put(name, int64(len(data)), arrival)
+	_, arrival := net.Rendezvous(owner, buddy, len(data), dep.Time(), dep.Time())
+	op, err := buddyDev.SubmitPut(ioev.At(arrival), name, int64(len(data)))
 	if err != nil {
-		return 0, fmt.Errorf("sion: buddy store on %s: %w", buddy.Name(), err)
+		return ioev.Op{}, fmt.Errorf("sion: buddy store on %s: %w", buddy.Name(), err)
 	}
-	return done, nil
+	ioev.CountBuddyCopy()
+	return op, nil
 }

@@ -6,28 +6,41 @@
 // The container format is real: a binary header, a data region of fixed-size
 // blocks handed out to task streams as they grow, and a block table appended
 // at close, with the header patched to point at it. Containers written here
-// are parsed back by OpenRead and verified byte-for-byte in tests.
+// are parsed back by OpenRead and verified byte-for-byte in tests; malformed
+// containers are rejected with errors, never panics (see the fuzz targets).
 //
 // SIONlib also bridges I/O and resiliency in DEEP-ER: the Buddy helper copies
 // a task's checkpoint into the NVMe of a companion node (buddy
 // checkpointing), which package scr builds on.
+//
+// All container I/O is timed through kernel events: the Proc forms
+// (WriteTask, Close, OpenRead, ReadTask) park the calling rank until the
+// operation is durable, and the Submit* forms thread an ioev.Op dependency
+// without parking so composed paths (SCR overlapping a container write with
+// a buddy copy) join several completions before one park. The Writer holds
+// no mutex: under the cooperative kernel exactly one rank runs at a time
+// and every method — including the shared-container WriteTask fan-in —
+// executes entirely within the calling rank's turn, the same serialisation
+// argument as scr.
 package sion
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
 
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
 )
 
-// Backend abstracts the file system a container lives on. *beegfs.FS
-// satisfies it; DeviceBackend adapts a node-local NVMe device.
+// Backend abstracts the file system a container lives on, in submission
+// form: operations are issued against an ioev.Op dependency and return a
+// completion token without parking. *beegfs.FS satisfies it; DeviceBackend
+// adapts a node-local NVMe device.
 type Backend interface {
-	Create(path string, node *machine.Node, ready vclock.Time) vclock.Time
-	Write(path string, offset int64, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error)
-	Read(path string, offset, size int64, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error)
+	SubmitCreate(dep ioev.Op, path string, node *machine.Node) ioev.Op
+	SubmitWrite(dep ioev.Op, path string, offset int64, data []byte, node *machine.Node) (ioev.Op, error)
+	SubmitRead(dep ioev.Op, path string, offset, size int64, node *machine.Node) ([]byte, ioev.Op, error)
 	Size(path string) (int64, error)
 }
 
@@ -35,6 +48,11 @@ const (
 	magic      = uint32(0x53494f4e) // "SION"
 	version    = uint32(2)
 	headerSize = int64(64)
+
+	// maxTasks bounds the task count OpenRead accepts: far above any real
+	// container here, small enough that a hostile header cannot coerce a
+	// huge allocation.
+	maxTasks = 1 << 20
 )
 
 // Writer is an open container being written by ntasks task-local streams.
@@ -44,7 +62,6 @@ type Writer struct {
 	ntasks    int
 	blockSize int64
 
-	mu      sync.Mutex
 	nextOff int64     // next free block offset
 	blocks  [][]block // per task: ordered block list
 	buf     [][]byte  // per task: current partial block
@@ -57,14 +74,25 @@ type block struct {
 	Used int64
 }
 
-// Create starts a new container for ntasks streams with the given block size
-// (the alignment unit; SIONlib aligns to file-system blocks). It returns the
-// writer and the metadata completion time.
-func Create(b Backend, path string, ntasks int, blockSize int64, node *machine.Node, ready vclock.Time) (*Writer, vclock.Time, error) {
-	if ntasks <= 0 || blockSize <= 0 {
-		return nil, 0, fmt.Errorf("sion: invalid container geometry (%d tasks, %d block)", ntasks, blockSize)
+// Create starts a new container for ntasks streams with the given block
+// size (the alignment unit; SIONlib aligns to file-system blocks), parking
+// the caller for the backend's create.
+func Create(p ioev.Proc, b Backend, path string, ntasks int, blockSize int64) (*Writer, error) {
+	w, op, err := SubmitCreate(b, path, ntasks, blockSize, p.Node(), ioev.Start(p))
+	if err != nil {
+		return nil, err
 	}
-	done := b.Create(path, node, ready)
+	ioev.Await(p, op)
+	return w, nil
+}
+
+// SubmitCreate issues the container create after dep without parking,
+// returning the writer and the metadata completion token.
+func SubmitCreate(b Backend, path string, ntasks int, blockSize int64, node *machine.Node, dep ioev.Op) (*Writer, ioev.Op, error) {
+	if ntasks <= 0 || blockSize <= 0 {
+		return nil, ioev.Op{}, fmt.Errorf("sion: invalid container geometry (%d tasks, %d block)", ntasks, blockSize)
+	}
+	done := b.SubmitCreate(dep, path, node)
 	w := &Writer{
 		backend:   b,
 		path:      path,
@@ -82,61 +110,69 @@ func Create(b Backend, path string, ntasks int, blockSize int64, node *machine.N
 func (w *Writer) NTasks() int { return w.ntasks }
 
 // WriteTask appends data to one task's logical stream, flushing full blocks
-// to the backend. node is where the task runs; ready is its current virtual
-// time. Returns the time at which the task's buffered state is consistent
-// (the last flush issued by this call, or ready if fully buffered).
-func (w *Writer) WriteTask(task int, data []byte, node *machine.Node, ready vclock.Time) (vclock.Time, error) {
-	if task < 0 || task >= w.ntasks {
-		return 0, fmt.Errorf("sion: task %d out of range [0,%d)", task, w.ntasks)
+// to the backend and parking the caller until the flushes it issued are
+// durable (a fully buffered append costs only the scheduling point).
+func (w *Writer) WriteTask(p ioev.Proc, task int, data []byte) error {
+	op, err := w.SubmitWriteTask(ioev.Start(p), task, data, p.Node())
+	if err != nil {
+		return err
 	}
-	w.mu.Lock()
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitWriteTask appends to one task's stream after dep without parking:
+// every full block flushes concurrently from the dependency instant, and
+// the returned token joins the flushes this call issued (dep itself if the
+// append stayed buffered).
+func (w *Writer) SubmitWriteTask(dep ioev.Op, task int, data []byte, node *machine.Node) (ioev.Op, error) {
+	if task < 0 || task >= w.ntasks {
+		return ioev.Op{}, fmt.Errorf("sion: task %d out of range [0,%d)", task, w.ntasks)
+	}
 	if w.closed {
-		w.mu.Unlock()
-		return 0, fmt.Errorf("sion: write to closed container %s", w.path)
+		return ioev.Op{}, fmt.Errorf("sion: write to closed container %s", w.path)
 	}
 	w.buf[task] = append(w.buf[task], data...)
-	// Collect full blocks to flush outside the lock's critical path.
-	type pend struct {
-		off  int64
-		data []byte
-	}
-	var flushes []pend
+	done := dep
 	for int64(len(w.buf[task])) >= w.blockSize {
-		blk := w.buf[task][:w.blockSize]
+		blk := append([]byte(nil), w.buf[task][:w.blockSize]...)
 		w.buf[task] = w.buf[task][w.blockSize:]
 		off := w.nextOff
 		w.nextOff += w.blockSize
 		w.blocks[task] = append(w.blocks[task], block{Off: off, Used: w.blockSize})
-		flushes = append(flushes, pend{off: off, data: append([]byte(nil), blk...)})
-	}
-	w.mu.Unlock()
-
-	done := ready
-	for _, f := range flushes {
-		t, err := w.backend.Write(w.path, f.off, f.data, node, ready)
+		t, err := w.backend.SubmitWrite(dep, w.path, off, blk, node)
 		if err != nil {
-			return 0, fmt.Errorf("sion: flush task %d: %w", task, err)
+			return ioev.Op{}, fmt.Errorf("sion: flush task %d: %w", task, err)
 		}
-		done = vclock.Max(done, t)
+		ioev.AddContainerBytes(w.blockSize)
+		done = ioev.After(done, t)
 	}
-	w.mu.Lock()
-	w.flushed[task] = vclock.Max(w.flushed[task], done)
-	w.mu.Unlock()
+	w.flushed[task] = vclock.Max(w.flushed[task], done.Time())
 	return done, nil
 }
 
 // Close flushes all partial blocks, writes the block table and patches the
-// header. It is called once (by the I/O root task); ready should be the
-// maximum of the participating tasks' times (a barrier precedes the close in
-// collective use). Returns the completion time of the whole container.
-func (w *Writer) Close(node *machine.Node, ready vclock.Time) (vclock.Time, error) {
-	w.mu.Lock()
+// header, parking the caller until the container is complete. It is called
+// once by the I/O root task after a barrier, so the caller's clock already
+// covers the other tasks' writes (any straggling flush is joined anyway).
+func (w *Writer) Close(p ioev.Proc) error {
+	op, err := w.SubmitClose(ioev.Start(p), p.Node())
+	if err != nil {
+		return err
+	}
+	ioev.Await(p, op)
+	return nil
+}
+
+// SubmitClose seals the container after dep without parking: partial blocks
+// flush concurrently from the join of dep and every stream's last flush,
+// then the block table and patched header commit sequentially. The returned
+// token is the whole container's completion.
+func (w *Writer) SubmitClose(dep ioev.Op, node *machine.Node) (ioev.Op, error) {
 	if w.closed {
-		w.mu.Unlock()
-		return 0, fmt.Errorf("sion: double close of %s", w.path)
+		return ioev.Op{}, fmt.Errorf("sion: double close of %s", w.path)
 	}
 	w.closed = true
-	// Assign blocks for the partial buffers.
 	type pend struct {
 		off  int64
 		data []byte
@@ -157,28 +193,29 @@ func (w *Writer) Close(node *machine.Node, ready vclock.Time) (vclock.Time, erro
 	table := w.encodeTable()
 	header := w.encodeHeader(tableOff)
 	for _, t := range w.flushed {
-		ready = vclock.Max(ready, t)
+		dep = ioev.After(dep, ioev.At(t))
 	}
-	w.mu.Unlock()
 
-	done := ready
+	done := dep
 	for _, f := range flushes {
-		t, err := w.backend.Write(w.path, f.off, f.data, node, ready)
+		t, err := w.backend.SubmitWrite(dep, w.path, f.off, f.data, node)
 		if err != nil {
-			return 0, fmt.Errorf("sion: close flush: %w", err)
+			return ioev.Op{}, fmt.Errorf("sion: close flush: %w", err)
 		}
-		done = vclock.Max(done, t)
+		ioev.AddContainerBytes(int64(len(f.data)))
+		done = ioev.After(done, t)
 	}
-	t, err := w.backend.Write(w.path, tableOff, table, node, done)
+	t, err := w.backend.SubmitWrite(done, w.path, tableOff, table, node)
 	if err != nil {
-		return 0, fmt.Errorf("sion: block table: %w", err)
+		return ioev.Op{}, fmt.Errorf("sion: block table: %w", err)
 	}
-	done = vclock.Max(done, t)
-	t, err = w.backend.Write(w.path, 0, header, node, done)
+	done = ioev.After(done, t)
+	t, err = w.backend.SubmitWrite(done, w.path, 0, header, node)
 	if err != nil {
-		return 0, fmt.Errorf("sion: header: %w", err)
+		return ioev.Op{}, fmt.Errorf("sion: header: %w", err)
 	}
-	return vclock.Max(done, t), nil
+	ioev.AddContainerBytes(int64(len(table)) + headerSize)
+	return ioev.After(done, t), nil
 }
 
 func (w *Writer) encodeHeader(tableOff int64) []byte {
@@ -217,50 +254,103 @@ type Reader struct {
 	blocks    [][]block
 }
 
-// OpenRead parses a container's metadata from the backend. node/ready time
-// the metadata reads; the returned time covers header + table.
-func OpenRead(b Backend, path string, node *machine.Node, ready vclock.Time) (*Reader, vclock.Time, error) {
-	h, t, err := b.Read(path, 0, headerSize, node, ready)
+// OpenRead parses a container's metadata from the backend, parking the
+// caller for the header and table reads. Malformed containers are rejected
+// with an error.
+func OpenRead(p ioev.Proc, b Backend, path string) (*Reader, error) {
+	r, op, err := SubmitOpenRead(b, path, p.Node(), ioev.Start(p))
 	if err != nil {
-		return nil, 0, fmt.Errorf("sion: header read: %w", err)
+		return nil, err
 	}
-	if binary.LittleEndian.Uint32(h[0:]) != magic {
-		return nil, 0, fmt.Errorf("sion: %s is not a SION container", path)
-	}
-	if v := binary.LittleEndian.Uint32(h[4:]); v != version {
-		return nil, 0, fmt.Errorf("sion: %s has unsupported version %d", path, v)
-	}
-	r := &Reader{
-		backend:   b,
-		path:      path,
-		ntasks:    int(binary.LittleEndian.Uint64(h[8:])),
-		blockSize: int64(binary.LittleEndian.Uint64(h[16:])),
-	}
-	tableOff := int64(binary.LittleEndian.Uint64(h[24:]))
+	ioev.Await(p, op)
+	return r, nil
+}
+
+// SubmitOpenRead parses a container's metadata after dep without parking:
+// the header read chains into the table read, and the returned token covers
+// both.
+func SubmitOpenRead(b Backend, path string, node *machine.Node, dep ioev.Op) (*Reader, ioev.Op, error) {
 	size, err := b.Size(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, ioev.Op{}, err
 	}
-	raw, t2, err := b.Read(path, tableOff, size-tableOff, node, t)
+	if size < headerSize {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s too short (%d bytes) for a SION container", path, size)
+	}
+	h, t, err := b.SubmitRead(dep, path, 0, headerSize, node)
 	if err != nil {
-		return nil, 0, fmt.Errorf("sion: table read: %w", err)
+		return nil, ioev.Op{}, fmt.Errorf("sion: header read: %w", err)
 	}
+	if int64(len(h)) < headerSize {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s: truncated header (%d bytes)", path, len(h))
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != magic {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s is not a SION container", path)
+	}
+	if v := binary.LittleEndian.Uint32(h[4:]); v != version {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s has unsupported version %d", path, v)
+	}
+	ntasks := int64(binary.LittleEndian.Uint64(h[8:]))
+	blockSize := int64(binary.LittleEndian.Uint64(h[16:]))
+	tableOff := int64(binary.LittleEndian.Uint64(h[24:]))
+	if ntasks <= 0 || ntasks > maxTasks {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s: implausible task count %d", path, ntasks)
+	}
+	if blockSize <= 0 {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s: invalid block size %d", path, blockSize)
+	}
+	if tableOff < headerSize || tableOff > size {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s: block table offset %d outside file [%d,%d]", path, tableOff, headerSize, size)
+	}
+	r := &Reader{backend: b, path: path, ntasks: int(ntasks), blockSize: blockSize}
+	raw, t2, err := b.SubmitRead(t, path, tableOff, size-tableOff, node)
+	if err != nil {
+		return nil, ioev.Op{}, fmt.Errorf("sion: table read: %w", err)
+	}
+	if err := r.parseTable(raw, tableOff); err != nil {
+		return nil, ioev.Op{}, fmt.Errorf("sion: %s: %w", path, err)
+	}
+	return r, t2, nil
+}
+
+// parseTable decodes the per-task block lists, validating every entry
+// against the container geometry so corrupt tables fail instead of
+// panicking or describing blocks outside the data region.
+func (r *Reader) parseTable(raw []byte, tableOff int64) error {
 	r.blocks = make([][]block, r.ntasks)
 	pos := 0
-	next := func() int64 {
+	next := func() (int64, error) {
+		if pos+8 > len(raw) {
+			return 0, fmt.Errorf("truncated block table at byte %d", pos)
+		}
 		v := int64(binary.LittleEndian.Uint64(raw[pos:]))
 		pos += 8
-		return v
+		return v, nil
 	}
 	for task := 0; task < r.ntasks; task++ {
-		n := next()
+		n, err := next()
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > int64(len(raw))/16 {
+			return fmt.Errorf("task %d: implausible block count %d", task, n)
+		}
 		for i := int64(0); i < n; i++ {
-			off := next()
-			used := next()
+			off, err := next()
+			if err != nil {
+				return err
+			}
+			used, err := next()
+			if err != nil {
+				return err
+			}
+			if off < headerSize || used < 0 || used > r.blockSize || off+r.blockSize > tableOff {
+				return fmt.Errorf("task %d block %d: [%d,+%d) outside data region [%d,%d)", task, i, off, used, headerSize, tableOff)
+			}
 			r.blocks[task] = append(r.blocks[task], block{Off: off, Used: used})
 		}
 	}
-	return r, t2, nil
+	return nil
 }
 
 // NTasks returns the number of task streams in the container.
@@ -275,20 +365,33 @@ func (r *Reader) TaskSize(task int) int64 {
 	return sum
 }
 
-// ReadTask reads one task's full logical stream.
-func (r *Reader) ReadTask(task int, node *machine.Node, ready vclock.Time) ([]byte, vclock.Time, error) {
+// ReadTask reads one task's full logical stream, parking the caller until
+// the last block arrives.
+func (r *Reader) ReadTask(p ioev.Proc, task int) ([]byte, error) {
+	out, op, err := r.SubmitReadTask(ioev.Start(p), task, p.Node())
+	if err != nil {
+		return nil, err
+	}
+	ioev.Await(p, op)
+	return out, nil
+}
+
+// SubmitReadTask reads one task's stream after dep without parking: all
+// blocks are fetched concurrently from the dependency instant and the
+// returned token joins them.
+func (r *Reader) SubmitReadTask(dep ioev.Op, task int, node *machine.Node) ([]byte, ioev.Op, error) {
 	if task < 0 || task >= r.ntasks {
-		return nil, 0, fmt.Errorf("sion: task %d out of range [0,%d)", task, r.ntasks)
+		return nil, ioev.Op{}, fmt.Errorf("sion: task %d out of range [0,%d)", task, r.ntasks)
 	}
 	var out []byte
-	done := ready
+	done := dep
 	for _, b := range r.blocks[task] {
-		data, t, err := r.backend.Read(r.path, b.Off, b.Used, node, ready)
+		data, t, err := r.backend.SubmitRead(dep, r.path, b.Off, b.Used, node)
 		if err != nil {
-			return nil, 0, fmt.Errorf("sion: task %d block at %d: %w", task, b.Off, err)
+			return nil, ioev.Op{}, fmt.Errorf("sion: task %d block at %d: %w", task, b.Off, err)
 		}
 		out = append(out, data...)
-		done = vclock.Max(done, t)
+		done = ioev.After(done, t)
 	}
 	return out, done, nil
 }

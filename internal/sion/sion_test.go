@@ -8,6 +8,7 @@ import (
 
 	"clusterbooster/internal/beegfs"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/vclock"
@@ -21,23 +22,23 @@ func testBackend() (Backend, *machine.System) {
 
 func TestRoundTripSingleTask(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
-	w, _, err := Create(b, "/c.sion", 1, 4096, n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	w, err := Create(a, b, "/c.sion", 1, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("moment data "), 100)
-	if _, err := w.WriteTask(0, payload, n, 0); err != nil {
+	if err := w.WriteTask(a, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Close(n, 0); err != nil {
+	if err := w.Close(a); err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := OpenRead(b, "/c.sion", n, 0)
+	r, err := OpenRead(a, b, "/c.sion")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := r.ReadTask(0, n, 0)
+	got, err := r.ReadTask(a, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,9 +50,9 @@ func TestRoundTripSingleTask(t *testing.T) {
 func TestRoundTripManyTasks(t *testing.T) {
 	// The concentration property: 16 task streams, one physical file.
 	b, sys := testBackend()
-	n := sys.Node(0)
+	a := ioev.Detach(sys.Node(0), 0)
 	const ntasks = 16
-	w, _, err := Create(b, "/many.sion", ntasks, 1024, n, 0)
+	w, err := Create(a, b, "/many.sion", ntasks, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +60,15 @@ func TestRoundTripManyTasks(t *testing.T) {
 	for task := 0; task < ntasks; task++ {
 		payloads[task] = bytes.Repeat([]byte{byte('A' + task)}, 300+200*task)
 		node := sys.Node(task % len(sys.Nodes()))
-		if _, err := w.WriteTask(task, payloads[task], node, 0); err != nil {
+		actor := ioev.Detach(node, 0)
+		if err := w.WriteTask(actor, task, payloads[task]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := w.Close(n, 0); err != nil {
+	if err := w.Close(a); err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := OpenRead(b, "/many.sion", n, 0)
+	r, err := OpenRead(a, b, "/many.sion")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestRoundTripManyTasks(t *testing.T) {
 		t.Fatalf("ntasks = %d", r.NTasks())
 	}
 	for task := 0; task < ntasks; task++ {
-		got, _, err := r.ReadTask(task, n, 0)
+		got, err := r.ReadTask(a, task)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,27 +92,27 @@ func TestRoundTripManyTasks(t *testing.T) {
 func TestMultiBlockStream(t *testing.T) {
 	// A stream spanning several blocks (block chaining).
 	b, sys := testBackend()
-	n := sys.Node(0)
-	w, _, _ := Create(b, "/blk.sion", 2, 128, n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	w, _ := Create(a, b, "/blk.sion", 2, 128)
 	long := bytes.Repeat([]byte("0123456789abcdef"), 100) // 1600 B over 128 B blocks
 	for i := 0; i < 4; i++ {
-		if _, err := w.WriteTask(1, long[i*400:(i+1)*400], n, 0); err != nil {
+		if err := w.WriteTask(a, 1, long[i*400:(i+1)*400]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	w.WriteTask(0, []byte("tiny"), n, 0)
-	if _, err := w.Close(n, 0); err != nil {
+	w.WriteTask(a, 0, []byte("tiny"))
+	if err := w.Close(a); err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := OpenRead(b, "/blk.sion", n, 0)
+	r, err := OpenRead(a, b, "/blk.sion")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _ := r.ReadTask(1, n, 0)
+	got, _ := r.ReadTask(a, 1)
 	if !bytes.Equal(got, long) {
 		t.Fatal("chained blocks corrupted")
 	}
-	got0, _, _ := r.ReadTask(0, n, 0)
+	got0, _ := r.ReadTask(a, 0)
 	if string(got0) != "tiny" {
 		t.Fatalf("task 0 = %q", got0)
 	}
@@ -118,13 +120,13 @@ func TestMultiBlockStream(t *testing.T) {
 
 func TestEmptyTasksAllowed(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
-	w, _, _ := Create(b, "/empty.sion", 4, 512, n, 0)
-	w.WriteTask(2, []byte("only me"), n, 0)
-	if _, err := w.Close(n, 0); err != nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	w, _ := Create(a, b, "/empty.sion", 4, 512)
+	w.WriteTask(a, 2, []byte("only me"))
+	if err := w.Close(a); err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := OpenRead(b, "/empty.sion", n, 0)
+	r, err := OpenRead(a, b, "/empty.sion")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestEmptyTasksAllowed(t *testing.T) {
 		if r.TaskSize(task) != 0 {
 			t.Errorf("task %d not empty", task)
 		}
-		got, _, err := r.ReadTask(task, n, 0)
+		got, err := r.ReadTask(a, task)
 		if err != nil || len(got) != 0 {
 			t.Errorf("task %d read = %v, %v", task, got, err)
 		}
@@ -141,49 +143,49 @@ func TestEmptyTasksAllowed(t *testing.T) {
 
 func TestWriteAfterCloseRejected(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
-	w, _, _ := Create(b, "/x.sion", 1, 512, n, 0)
-	w.Close(n, 0)
-	if _, err := w.WriteTask(0, []byte("late"), n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	w, _ := Create(a, b, "/x.sion", 1, 512)
+	w.Close(a)
+	if err := w.WriteTask(a, 0, []byte("late")); err == nil {
 		t.Fatal("write after close succeeded")
 	}
-	if _, err := w.Close(n, 0); err == nil {
+	if err := w.Close(a); err == nil {
 		t.Fatal("double close succeeded")
 	}
 }
 
 func TestInvalidGeometry(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
-	if _, _, err := Create(b, "/bad", 0, 512, n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	if _, err := Create(a, b, "/bad", 0, 512); err == nil {
 		t.Fatal("0 tasks accepted")
 	}
-	if _, _, err := Create(b, "/bad", 1, 0, n, 0); err == nil {
+	if _, err := Create(a, b, "/bad", 1, 0); err == nil {
 		t.Fatal("0 block size accepted")
 	}
 }
 
 func TestOpenReadRejectsGarbage(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
+	a := ioev.Detach(sys.Node(0), 0)
 	fs := b.(*beegfs.FS)
-	fs.Create("/garbage", n, 0)
-	fs.Write("/garbage", 0, bytes.Repeat([]byte{7}, 128), n, 0)
-	if _, _, err := OpenRead(b, "/garbage", n, 0); err == nil {
+	fs.Create(a, "/garbage")
+	fs.Write(a, "/garbage", 0, bytes.Repeat([]byte{7}, 128))
+	if _, err := OpenRead(a, b, "/garbage"); err == nil {
 		t.Fatal("garbage accepted as container")
 	}
 }
 
 func TestTaskOutOfRange(t *testing.T) {
 	b, sys := testBackend()
-	n := sys.Node(0)
-	w, _, _ := Create(b, "/r.sion", 2, 512, n, 0)
-	if _, err := w.WriteTask(2, []byte("x"), n, 0); err == nil {
+	a := ioev.Detach(sys.Node(0), 0)
+	w, _ := Create(a, b, "/r.sion", 2, 512)
+	if err := w.WriteTask(a, 2, []byte("x")); err == nil {
 		t.Fatal("out-of-range task accepted")
 	}
-	w.Close(n, 0)
-	r, _, _ := OpenRead(b, "/r.sion", n, 0)
-	if _, _, err := r.ReadTask(5, n, 0); err == nil {
+	w.Close(a)
+	r, _ := OpenRead(a, b, "/r.sion")
+	if _, err := r.ReadTask(a, 5); err == nil {
 		t.Fatal("out-of-range read accepted")
 	}
 }
@@ -192,21 +194,21 @@ func TestDeviceBackendRoundTrip(t *testing.T) {
 	sys := machine.New(1, 0)
 	dev := nvme.New(nvme.P3700())
 	d := NewDeviceBackend(dev)
-	n := sys.Node(0)
-	w, _, err := Create(d, "/local.sion", 2, 256, n, 0)
+	a := ioev.Detach(sys.Node(0), 0)
+	w, err := Create(a, d, "/local.sion", 2, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.WriteTask(0, []byte("local checkpoint"), n, 0)
-	w.WriteTask(1, bytes.Repeat([]byte("B"), 700), n, 0)
-	if _, err := w.Close(n, 0); err != nil {
+	w.WriteTask(a, 0, []byte("local checkpoint"))
+	w.WriteTask(a, 1, bytes.Repeat([]byte("B"), 700))
+	if err := w.Close(a); err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := OpenRead(d, "/local.sion", n, 0)
+	r, err := OpenRead(a, d, "/local.sion")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _ := r.ReadTask(0, n, 0)
+	got, _ := r.ReadTask(a, 0)
 	if string(got) != "local checkpoint" {
 		t.Fatalf("got %q", got)
 	}
@@ -220,40 +222,42 @@ func TestBuddyCopy(t *testing.T) {
 	net := fabric.New(sys, fabric.Config{})
 	buddyDev := nvme.New(nvme.P3700())
 	data := bytes.Repeat([]byte("ckpt"), 1<<20)
-	done, err := Buddy(net, sys.Node(0), sys.Node(1), buddyDev, "ckpt/rank0/step5", data, vclock.Second)
-	if err != nil {
+	a := ioev.Detach(sys.Node(0), vclock.Second)
+	if err := Buddy(a, net, sys.Node(1), buddyDev, "ckpt/rank0/step5", data); err != nil {
 		t.Fatal(err)
 	}
-	if done <= vclock.Second {
+	if a.Now() <= vclock.Second {
 		t.Error("buddy copy free of charge")
 	}
 	if !buddyDev.Has("ckpt/rank0/step5") {
 		t.Error("buddy device does not hold the copy")
 	}
-	if _, err := Buddy(net, sys.Node(0), sys.Node(0), buddyDev, "x", data, 0); err == nil {
+	if err := Buddy(a, net, sys.Node(0), buddyDev, "x", data); err == nil {
 		t.Error("self-buddy accepted")
 	}
 }
 
 func TestConcentrationTimingBeatsFilePerTask(t *testing.T) {
 	// The reason SIONlib exists: N tasks writing one container cost far
-	// fewer metadata operations than N files. Compare virtual times.
+	// fewer metadata operations than N files. Compare virtual times. Both
+	// sides submit everything at instant 0 so queueing, not actor clocks,
+	// sets the finish line.
 	const ntasks = 32
 	payload := bytes.Repeat([]byte("x"), 4096)
 
 	bc, sysC := testBackend()
 	n := sysC.Node(0)
-	w, _, _ := Create(bc, "/one.sion", ntasks, 4096, n, 0)
+	w, _, _ := SubmitCreate(bc, "/one.sion", ntasks, 4096, n, ioev.At(0))
 	var tSion vclock.Time
 	for task := 0; task < ntasks; task++ {
-		done, err := w.WriteTask(task, payload, n, 0)
+		done, err := w.SubmitWriteTask(ioev.At(0), task, payload, n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tSion = vclock.Max(tSion, done)
+		tSion = vclock.Max(tSion, done.Time())
 	}
-	done, _ := w.Close(n, tSion)
-	tSion = done
+	closed, _ := w.SubmitClose(ioev.At(tSion), n)
+	tSion = closed.Time()
 
 	bp, sysP := testBackend()
 	np := sysP.Node(0)
@@ -261,12 +265,12 @@ func TestConcentrationTimingBeatsFilePerTask(t *testing.T) {
 	var tFiles vclock.Time
 	for task := 0; task < ntasks; task++ {
 		path := fmt.Sprintf("/task-%d.out", task)
-		created := fs.Create(path, np, 0)
-		wdone, err := fs.Write(path, 0, payload, np, created)
+		created := fs.SubmitCreate(ioev.At(0), path, np)
+		wdone, err := fs.SubmitWrite(created, path, 0, payload, np)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tFiles = vclock.Max(tFiles, wdone)
+		tFiles = vclock.Max(tFiles, wdone.Time())
 	}
 	if tSion >= tFiles {
 		t.Errorf("container (%v) not faster than file-per-task (%v)", tSion, tFiles)
@@ -276,30 +280,30 @@ func TestConcentrationTimingBeatsFilePerTask(t *testing.T) {
 func TestQuickContainerRoundTrip(t *testing.T) {
 	// Property: arbitrary per-task payloads survive the container format.
 	b, sys := testBackend()
-	n := sys.Node(0)
+	a := ioev.Detach(sys.Node(0), 0)
 	counter := 0
-	f := func(a, b2, c []byte) bool {
+	f := func(x, y, z []byte) bool {
 		counter++
 		path := fmt.Sprintf("/q%d.sion", counter)
-		w, _, err := Create(b, path, 3, 64, n, 0)
+		w, err := Create(a, b, path, 3, 64)
 		if err != nil {
 			return false
 		}
-		ins := [][]byte{a, b2, c}
+		ins := [][]byte{x, y, z}
 		for task, data := range ins {
-			if _, err := w.WriteTask(task, data, n, 0); err != nil {
+			if err := w.WriteTask(a, task, data); err != nil {
 				return false
 			}
 		}
-		if _, err := w.Close(n, 0); err != nil {
+		if err := w.Close(a); err != nil {
 			return false
 		}
-		r, _, err := OpenRead(b, path, n, 0)
+		r, err := OpenRead(a, b, path)
 		if err != nil {
 			return false
 		}
 		for task, want := range ins {
-			got, _, err := r.ReadTask(task, n, 0)
+			got, err := r.ReadTask(a, task)
 			if err != nil || !bytes.Equal(got, want) {
 				return false
 			}

@@ -13,6 +13,7 @@ import (
 
 	"clusterbooster/internal/core"
 	"clusterbooster/internal/fabric"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/scr"
@@ -291,22 +292,25 @@ func (p XPicPoint) checkpoint(sys *core.System, start vclock.Time) (vclock.Time,
 	} else {
 		mgr.BeginCheckpoint(1)
 	}
+	// The checkpoint is priced post-run with one detached actor per rank,
+	// all issuing from the same post-barrier instant — the same reservation
+	// order a collective checkpoint under the kernel would produce.
 	done := start
 	for rank := range nodes {
-		t, err := mgr.Checkpoint(rank, 1, data, levels, start)
-		if err != nil {
+		a := ioev.Detach(nodes[rank], start)
+		if err := mgr.Checkpoint(a, rank, 1, data, levels); err != nil {
 			return 0, fmt.Errorf("sweep: checkpoint rank %d: %w", rank, err)
 		}
-		done = vclock.Max(done, t)
+		done = vclock.Max(done, a.Now())
 	}
 	for _, l := range levels {
 		if l == scr.LevelGlobal {
-			t, err := mgr.CompleteGlobal(1, 0, done)
-			if err != nil {
+			a := ioev.Detach(nodes[0], done)
+			if err := mgr.CompleteGlobal(a, 1, 0); err != nil {
 				return 0, fmt.Errorf("sweep: complete global checkpoint: %w", err)
 			}
-			if t > done {
-				done = t
+			if a.Now() > done {
+				done = a.Now()
 			}
 			break
 		}

@@ -1,0 +1,37 @@
+// I/O scenarios: the fig-io strategy × node count × payload axis. An
+// IOPoint wraps an ioexp.Params into a self-contained Scenario — fresh
+// system, fresh storage stack, one MPI-style job — so I/O grids run
+// host-parallel under the same byte-determinism guarantee as every other
+// sweep.
+package sweep
+
+import (
+	"clusterbooster/internal/ioexp"
+)
+
+// IOPoint is one fig-io grid point: every rank pushes a checkpoint-sized
+// payload through one I/O strategy on the event kernel.
+type IOPoint struct {
+	ioexp.Params
+}
+
+// Scenario wraps the point as a self-contained Scenario reporting the
+// return/durable split plus aggregate bandwidth.
+func (p IOPoint) Scenario(name string) Scenario {
+	return Scenario{Name: name, Run: func() (Outcome, error) {
+		out, err := ioexp.Run(p.Params)
+		if err != nil {
+			return Outcome{}, err
+		}
+		m := Metrics{
+			"makespan_s": out.Makespan.Seconds(),
+			"return_s":   out.Return.Seconds(),
+			"durable_s":  out.Durable.Seconds(),
+			"bytes":      float64(out.Bytes),
+		}
+		if s := out.Durable.Seconds(); s > 0 {
+			m["agg_gbs"] = float64(out.Bytes) / s / 1e9
+		}
+		return Outcome{Metrics: m}, nil
+	}}
+}

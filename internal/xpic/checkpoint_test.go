@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"clusterbooster/internal/beegfs"
+	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/nvme"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/scr"
@@ -131,7 +132,7 @@ func TestCheckpointThroughSCR(t *testing.T) {
 	}
 	levels := mgr.BeginCheckpoint(4)
 	for rank := 0; rank < 2; rank++ {
-		if _, err := mgr.Checkpoint(rank, 4, snaps[rank], levels, 0); err != nil {
+		if err := mgr.Checkpoint(ioev.Detach(nil, 0), rank, 4, snaps[rank], levels); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func TestCheckpointThroughSCR(t *testing.T) {
 	if !ok || step != 4 {
 		t.Fatalf("restart unavailable: %v", ok)
 	}
-	got, _, err := mgr.Restore(0, 4, lvls[0], 0)
+	got, err := mgr.Restore(ioev.Detach(nil, 0), 0, 4, lvls[0])
 	if err != nil {
 		t.Fatal(err)
 	}
