@@ -51,6 +51,7 @@ import (
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
+	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
 )
 
@@ -162,12 +163,13 @@ func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText boo
 }
 
 // reportStats prints the aggregated execution-kernel counters, the I/O
-// stack's event counters and the scenario-cache hit/miss counters to stderr
-// when the verb's -stats flag is set.
+// stack's event counters, the batch-queue counters and the scenario-cache
+// hit/miss counters to stderr when the verb's -stats flag is set.
 func (v verbFlags) reportStats(errw io.Writer) {
 	if v.stats != nil && *v.stats {
 		fmt.Fprintf(errw, "cbctl: kernel %s\n", engine.Global())
 		fmt.Fprintf(errw, "cbctl: io %s\n", ioev.Global())
+		fmt.Fprintf(errw, "cbctl: queue %s\n", sched.Global())
 		fmt.Fprintf(errw, "cbctl: %s\n", sweep.RunCacheStats())
 	}
 }

@@ -65,6 +65,7 @@ import (
 	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
 	"clusterbooster/internal/resilience"
+	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/vclock"
 	"clusterbooster/internal/xpic"
@@ -203,14 +204,15 @@ func main() {
 }
 
 // reportStats prints the aggregated execution-kernel counters (events
-// processed, events/sec wall-clock, peak parked ranks) and the scenario
-// cache counters to stderr.
+// processed, events/sec wall-clock, peak parked ranks), the I/O and
+// batch-queue counters and the scenario cache counters to stderr.
 func reportStats(enabled bool) {
 	if !enabled {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "deepsim: kernel %s\n", engine.Global())
 	fmt.Fprintf(os.Stderr, "deepsim: io %s\n", ioev.Global())
+	fmt.Fprintf(os.Stderr, "deepsim: queue %s\n", sched.Global())
 	fmt.Fprintf(os.Stderr, "deepsim: %s\n", sweep.RunCacheStats())
 }
 

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// catalogRow matches the first column of the EXPERIMENTS.md catalog table:
+// a backticked experiment name at the start of a table row.
+var catalogRow = regexp.MustCompile("(?m)^\\| `([a-z0-9][a-z0-9_/-]*)` \\|")
+
+// TestCatalogDocumented cross-checks the EXPERIMENTS.md catalog table
+// against the registry, both directions: every registered experiment must
+// be documented, and every documented name must exist. CI runs this as the
+// docs job, so the table cannot drift from the code.
+func TestCatalogDocumented(t *testing.T) {
+	root := FindModuleRoot(".")
+	if root == "" {
+		t.Skip("module root not reachable (embedded-only build)")
+	}
+	b, err := os.ReadFile(filepath.Join(root, "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range catalogRow.FindAllStringSubmatch(string(b), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no catalog rows found in EXPERIMENTS.md")
+	}
+	registered := map[string]bool{}
+	for _, name := range Names() {
+		registered[name] = true
+		if !documented[name] {
+			t.Errorf("experiment %q is registered but missing from the EXPERIMENTS.md catalog table", name)
+		}
+	}
+	var stale []string
+	for name := range documented {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("EXPERIMENTS.md documents %q, which is not in the registry", name)
+	}
+}

@@ -174,6 +174,7 @@ func init() {
 	registerFig8Scale4096()
 	registerFigResilience()
 	registerFigIO()
+	registerFigFacility()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()

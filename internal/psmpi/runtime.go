@@ -143,6 +143,15 @@ func (rt *Runtime) nextCommID() uint64 {
 	return rt.commID
 }
 
+// placeSpawn resolves spawn placement for one rank's job tree: the launch's
+// own service (the job's live allocation) wins over the runtime-global one.
+func (p *Proc) placeSpawn(n int, m machine.Module) ([]*machine.Node, error) {
+	if p.l.plac != nil {
+		return p.l.plac.PlaceSpawn(n, m)
+	}
+	return p.rt.placeSpawn(n, m)
+}
+
 // placeSpawn resolves spawn placement through the configured service or the
 // built-in round-robin fallback.
 func (rt *Runtime) placeSpawn(n int, m machine.Module) ([]*machine.Node, error) {
@@ -164,6 +173,7 @@ func (rt *Runtime) placeSpawn(n int, m machine.Module) ([]*machine.Node, error) 
 // all scheduled by one execution kernel.
 type launch struct {
 	eng  *engine.Engine
+	plac Placement // per-launch spawn placement, overriding the runtime's
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	errs []error
@@ -250,6 +260,11 @@ type LaunchSpec struct {
 	// error (recover it with FailureOf). The injector keeps its RNG state
 	// across launches, so a restart loop sees a continuing failure sequence.
 	Failures *FailureInjector
+	// Placement, if set, decides spawn placement for this job tree only,
+	// overriding the runtime-global service. The batch system passes the
+	// job's live allocation here (sched.Allocation implements Placement), so
+	// dynamic spawns stay inside the job's reservation.
+	Placement Placement
 }
 
 // Result summarises a completed job tree.
@@ -286,7 +301,7 @@ func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 	if spec.Main == nil {
 		return Result{}, errors.New("psmpi: launch with nil main")
 	}
-	l := &launch{eng: engine.New()}
+	l := &launch{eng: engine.New(), plac: spec.Placement}
 	world := rt.newWorld(l, spec.Nodes, spec.Args, spec.StartTime, nil)
 	rt.startJob(l, world, spec.Main)
 	spec.Failures.arm(l, spec.StartTime)

@@ -72,7 +72,7 @@ func (p *Proc) spawnRoot(c *Comm, spec SpawnSpec) spawnHandle {
 	if err != nil {
 		return spawnHandle{err: err}
 	}
-	nodes, err := p.rt.placeSpawn(spec.Procs, spec.Module)
+	nodes, err := p.placeSpawn(spec.Procs, spec.Module)
 	if err != nil {
 		return spawnHandle{err: fmt.Errorf("psmpi: spawn placement: %w", err)}
 	}

@@ -1,9 +1,11 @@
 package psmpi
 
 import (
+	"sync"
 	"testing"
 
 	"clusterbooster/internal/machine"
+	"clusterbooster/internal/sched"
 	"clusterbooster/internal/vclock"
 )
 
@@ -234,5 +236,46 @@ func TestSpawnPlacementService(t *testing.T) {
 	})
 	if fp.calls != 1 {
 		t.Errorf("placement called %d times, want 1", fp.calls)
+	}
+}
+
+// TestSpawnPlacementFromAllocation checks the per-launch placement override:
+// a job launched with its live allocation as Placement spawns children onto
+// the allocation's own nodes, even though the machine-wide service would
+// prefer the free nodes outside the reservation.
+func TestSpawnPlacementFromAllocation(t *testing.T) {
+	rt := testRuntime(2, 4)
+	mgr := sched.NewManager(rt.System())
+	rt.SetPlacement(mgr) // machine-wide fallback: prefers free nodes
+	alloc, err := mgr.Alloc(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := map[string]bool{}
+	for _, n := range alloc.Booster {
+		inside[n.Name()] = true
+	}
+	var mu sync.Mutex
+	var landed []string
+	rt.Register("allocchild", func(p *Proc) error {
+		mu.Lock()
+		landed = append(landed, p.Node().Name())
+		mu.Unlock()
+		return nil
+	})
+	main := func(p *Proc) error {
+		_, err := p.Spawn(p.World(), SpawnSpec{Binary: "allocchild", Procs: 4, Module: machine.Booster})
+		return err
+	}
+	if _, err := rt.Launch(LaunchSpec{Nodes: alloc.Cluster, Main: main, Placement: alloc}); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if len(landed) != 4 {
+		t.Fatalf("%d children ran, want 4", len(landed))
+	}
+	for _, name := range landed {
+		if !inside[name] {
+			t.Errorf("child on %s escaped the allocation %v", name, alloc.Booster)
+		}
 	}
 }

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// sec converts to virtual seconds tersely.
+func sec(s float64) vclock.Time { return vclock.Time(s) }
+
+// TestBackfillReservationInvariant pins the conservative-backfill guarantee
+// on the kernel: a continuous stream of small jobs must never delay the
+// blocked head job past its reservation (the earliest start assuming
+// running jobs release on time) — EASY-style aggressive backfill would
+// starve it, conservative backfill must not.
+func TestBackfillReservationInvariant(t *testing.T) {
+	m := NewManager(machine.New(4, 4))
+	jobs := []Job{
+		// Occupies the whole Cluster side until t=10.
+		{ID: 1, Cluster: 4, Booster: 0, Arrival: 0, Duration: sec(10)},
+		// Head: needs the full machine; reservation at t=10.
+		{ID: 2, Cluster: 4, Booster: 4, Arrival: sec(1), Duration: sec(10)},
+	}
+	// A small Booster job arrives every second; those finishing by t=10
+	// backfill, the t=9 arrival (9+2 > 10) must wait behind the head.
+	for i := 0; i < 9; i++ {
+		jobs = append(jobs, Job{ID: 3 + i, Cluster: 0, Booster: 1,
+			Arrival: sec(float64(1 + i)), Duration: sec(2)})
+	}
+	sched, cnt, err := m.simulateQueue(jobs, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placed{}
+	for _, p := range sched.Placed {
+		byID[p.Job.ID] = p
+	}
+	if got := byID[2].Start; got != sec(10) {
+		t.Fatalf("head started at %v, reservation was 10s", got)
+	}
+	for i := 3; i <= 10; i++ { // arrivals t=1..8 fit before the reservation
+		if got := byID[i].Start; got != jobs[i-1].Arrival {
+			t.Fatalf("job %d backfilled at %v, want its arrival %v", i, got, jobs[i-1].Arrival)
+		}
+	}
+	// The t=9 arrival would overrun the reservation: it waits for the head.
+	if got := byID[11].Start; got != sec(20) {
+		t.Fatalf("late small job started at %v, want 20s (after the head)", got)
+	}
+	if cnt.backfilled != 8 {
+		t.Fatalf("backfilled = %d, want 8", cnt.backfilled)
+	}
+}
+
+// TestMalleableShrinkBelowMinimumRejected: a malleable job must wait rather
+// than start below its minima.
+func TestMalleableShrinkBelowMinimumRejected(t *testing.T) {
+	m := NewManager(machine.New(8, 8))
+	jobs := []Job{
+		{ID: 1, Cluster: 6, Booster: 6, Arrival: 0, Duration: sec(10)},
+		{ID: 2, Cluster: 8, Booster: 8, Arrival: sec(1), Duration: sec(4),
+			Malleable: true, MinCluster: 4, MinBooster: 4},
+	}
+	sched, cnt, err := m.simulateQueue(jobs, Backfill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sched.Placed[1]
+	if p.Job.ID != 2 || p.Start != sec(10) {
+		t.Fatalf("malleable job started at %v with 2/2 free nodes, want a wait until 10s", p.Start)
+	}
+	if p.Cluster != 8 || p.Booster != 8 {
+		t.Fatalf("granted %d/%d after the wait, want the full 8/8", p.Cluster, p.Booster)
+	}
+	if cnt.shrunk != 0 {
+		t.Fatalf("shrunk = %d, want 0 (below-minimum shrink must be rejected)", cnt.shrunk)
+	}
+}
+
+// TestQueueDrainedTermination: the queue drains to empty between sparse
+// arrivals; the kernel must idle across the gaps and terminate cleanly
+// instead of tripping the deadlock detector.
+func TestQueueDrainedTermination(t *testing.T) {
+	m := NewManager(machine.New(2, 2))
+	jobs := []Job{
+		{ID: 1, Cluster: 2, Booster: 2, Arrival: 0, Duration: sec(1)},
+		{ID: 2, Cluster: 2, Booster: 2, Arrival: sec(100), Duration: sec(1)},
+		{ID: 3, Cluster: 2, Booster: 2, Arrival: sec(1000), Duration: sec(1)},
+	}
+	for _, pol := range []Policy{FCFS, Backfill} {
+		sched, cnt, err := m.simulateQueue(jobs, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sched.Placed) != 3 || sched.Makespan != sec(1001) {
+			t.Fatalf("policy %v: placed %d jobs, makespan %v; want 3 and 1001s",
+				pol, len(sched.Placed), sched.Makespan)
+		}
+		if cnt.peakQueue != 1 {
+			t.Fatalf("policy %v: peak queue %d, want 1 (queue drains between arrivals)", pol, cnt.peakQueue)
+		}
+	}
+}
+
+// TestAllocationPlaceSpawn: an allocation places spawns round-robin on its
+// own nodes only, and refuses modules it holds no nodes of.
+func TestAllocationPlaceSpawn(t *testing.T) {
+	m := NewManager(machine.New(8, 8))
+	a, err := m.Alloc(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := a.PlaceSpawn(4, machine.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*machine.Node{a.Cluster[0], a.Cluster[1], a.Cluster[0], a.Cluster[1]}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("spawn left the allocation: got %v", nodes)
+	}
+	// The cursor advances: the next spawn continues round-robin.
+	more, err := a.PlaceSpawn(1, machine.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more[0] != a.Cluster[0] {
+		t.Fatalf("cursor did not wrap: got %v", more[0])
+	}
+	if _, err := a.PlaceSpawn(1, machine.Booster); err == nil {
+		t.Fatal("spawn onto a module the allocation holds no nodes of must fail")
+	}
+}
+
+// TestFacilityDeterminism: equal params give identical outcomes; the seed
+// changes the stream.
+func TestFacilityDeterminism(t *testing.T) {
+	p := FacilityParams{Policy: FacilityBackfill, Jobs: 200, Load: 1.2, Seed: 7}
+	a, err := RunFacility(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFacility(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same params, different outcomes:\n%+v\n%+v", a, b)
+	}
+	p.Seed = 8
+	c, err := RunFacility(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Makespan == a.Makespan && c.MeanWait == a.MeanWait {
+		t.Fatal("seed change did not change the stream")
+	}
+}
+
+// TestFacilityPolicies: on one overloaded stream, backfill must not lose to
+// FCFS on mean wait, the malleable policy must actually shrink jobs, and
+// every policy must run the whole stream.
+func TestFacilityPolicies(t *testing.T) {
+	outs := map[FacilityPolicy]FacilityOutcome{}
+	for _, pol := range FacilityPolicies() {
+		out, err := RunFacility(FacilityParams{Policy: pol, Jobs: 400, Load: 1.4, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Jobs != 400 {
+			t.Fatalf("%s: completed %d of 400 jobs", pol, out.Jobs)
+		}
+		outs[pol] = out
+	}
+	if outs[FacilityBackfill].Backfilled == 0 {
+		t.Fatal("backfill policy never backfilled")
+	}
+	if outs[FacilityFCFS].Backfilled != 0 || outs[FacilityFCFS].Shrunk != 0 {
+		t.Fatal("fcfs policy backfilled or shrank")
+	}
+	if outs[FacilityMalleable].Shrunk == 0 {
+		t.Fatal("malleable policy never shrank a job")
+	}
+	if outs[FacilityBackfill].MeanWait > outs[FacilityFCFS].MeanWait {
+		t.Fatalf("backfill mean wait %v worse than fcfs %v",
+			outs[FacilityBackfill].MeanWait, outs[FacilityFCFS].MeanWait)
+	}
+}
+
+// TestFacilityRejectsBadParams covers the validation surface.
+func TestFacilityRejectsBadParams(t *testing.T) {
+	for _, p := range []FacilityParams{
+		{Policy: FacilityFCFS, Jobs: 0, Load: 1},
+		{Policy: FacilityFCFS, Jobs: 10, Load: 0},
+		{Policy: "easy", Jobs: 10, Load: 1},
+		{Policy: FacilityFCFS, Jobs: 10, Load: 1, ClusterNodes: -1},
+	} {
+		if _, err := RunFacility(p); err == nil {
+			t.Fatalf("params %+v accepted", p)
+		}
+	}
+}
+
+// TestFacilityThousandJobs: the acceptance-scale stream — a thousand jobs
+// on one kernel — completes and keeps both pools busy.
+func TestFacilityThousandJobs(t *testing.T) {
+	out, err := RunFacility(FacilityParams{Policy: FacilityBackfill, Jobs: 1000, Load: 1.0, Seed: 20180521})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Jobs != 1000 {
+		t.Fatalf("completed %d of 1000 jobs", out.Jobs)
+	}
+	if out.UtilCluster <= 0.3 || out.UtilBooster <= 0.3 {
+		t.Fatalf("utilization %.2f/%.2f suspiciously low at load 1.0", out.UtilCluster, out.UtilBooster)
+	}
+	if out.Events < 1000 {
+		t.Fatalf("only %d kernel events for a 1000-job stream", out.Events)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"clusterbooster/internal/engine"
 	"clusterbooster/internal/machine"
 	"clusterbooster/internal/vclock"
 )
@@ -87,17 +88,71 @@ func (s Schedule) Utilisation(m *Manager, mod machine.Module) float64 {
 	return used / total
 }
 
-// event tracks node release times during queue simulation.
+// event tracks node release times during head-start estimation.
 type event struct {
 	at      vclock.Time
 	cluster int
 	booster int
 }
 
+// qjob is one job's live state inside a kernel queue run.
+type qjob struct {
+	job  Job
+	task *engine.Task
+
+	granted    bool
+	grantedC   int
+	grantedB   int
+	start, end vclock.Time
+	backfilled bool
+	shrunk     bool
+}
+
+// queueCounters aggregates one queue run's scheduler activity; the totals
+// feed the process-wide Stats and the facility metrics.
+type queueCounters struct {
+	submitted  int
+	started    int
+	backfilled int
+	shrunk     int
+	peakQueue  int // high-water mark of jobs waiting in the queue
+	events     uint64
+}
+
+// queueRun is the scheduler state of one kernel queue simulation. Every
+// field is kernel state: it is only ever touched while one of the run's
+// tasks holds the engine baton, so — like the Manager — it needs no lock.
+type queueRun struct {
+	policy Policy
+	freeC  int
+	freeB  int
+
+	pending []*qjob // arrived, waiting for a grant, in arrival order
+	running []*qjob // granted, not yet completed
+
+	sched Schedule
+	cnt   queueCounters
+}
+
 // SimulateQueue schedules the jobs (sorted by arrival) under the policy and
 // returns the resulting schedule. It does not touch the manager's online
 // allocation state; it is a planning computation over total node counts.
+//
+// Each job runs as an engine.Task: the task starts at the job's arrival,
+// enqueues itself and parks until the scheduler — re-run at every arrival
+// and completion event, under the baton — grants its nodes with a kernel
+// wakeup. A granted task sleeps out its runtime in virtual time, releases
+// its nodes and re-dispatches. If the queue can make no progress (head
+// blocked, nothing running) the kernel's deadlock detector poisons the
+// parked tasks and the error surfaces here.
 func (m *Manager) SimulateQueue(jobs []Job, policy Policy) (Schedule, error) {
+	sched, _, err := m.simulateQueue(jobs, policy)
+	return sched, err
+}
+
+// simulateQueue is SimulateQueue plus the scheduler activity counters the
+// facility layer reports.
+func (m *Manager) simulateQueue(jobs []Job, policy Policy) (Schedule, queueCounters, error) {
 	totalC := m.sys.NodeCount(machine.Cluster)
 	totalB := m.sys.NodeCount(machine.Booster)
 	for _, j := range jobs {
@@ -106,125 +161,177 @@ func (m *Manager) SimulateQueue(jobs []Job, policy Policy) (Schedule, error) {
 			needC, needB = j.MinCluster, j.MinBooster
 		}
 		if needC > totalC || needB > totalB {
-			return Schedule{}, fmt.Errorf("sched: job %d (%s) can never run: needs %d/%d of %d/%d nodes",
+			return Schedule{}, queueCounters{}, fmt.Errorf("sched: job %d (%s) can never run: needs %d/%d of %d/%d nodes",
 				j.ID, j.Name, needC, needB, totalC, totalB)
 		}
 	}
 	queue := append([]Job(nil), jobs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
 
-	var sched Schedule
-	var running []event
-	freeC, freeB := totalC, totalB
-	now := vclock.Time(0)
+	q := &queueRun{policy: policy, freeC: totalC, freeB: totalB}
+	eng := engine.New()
+	errs := make([]error, len(queue))
+	for i, j := range queue {
+		qj := &qjob{job: j, task: eng.NewTask(jobTaskName(j))}
+		qj.task.StartAt(j.Arrival)
+		go q.runJob(qj, &errs[i])
+	}
+	eng.Run()
+	q.cnt.events = eng.Stats().Events
+	eng.Recycle()
+	noteQueueRun(q.cnt)
+	for _, err := range errs {
+		if err != nil {
+			return Schedule{}, queueCounters{}, err
+		}
+	}
+	return q.sched, q.cnt, nil
+}
 
-	advanceTo := func(t vclock.Time) {
-		now = t
-		kept := running[:0]
-		for _, e := range running {
-			if e.at <= now {
-				freeC += e.cluster
-				freeB += e.booster
-			} else {
-				kept = append(kept, e)
+// jobTaskName renders a job's kernel task name (appears only in failures).
+func jobTaskName(j Job) string {
+	if j.Name != "" {
+		return fmt.Sprintf("job %d (%s)", j.ID, j.Name)
+	}
+	return fmt.Sprintf("job %d", j.ID)
+}
+
+// runJob is one job's task: arrive, queue, park for the grant, sleep out
+// the runtime, release, re-dispatch. Kernel poison (deadlock: the head can
+// never start and nothing is running) is recovered into the job's error.
+func (q *queueRun) runJob(j *qjob, errp *error) {
+	defer j.task.Exit()
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*engine.TaskFailure); ok {
+				*errp = f
+				return
 			}
+			*errp = fmt.Errorf("sched: job %d (%s) cannot start and nothing is running", j.job.ID, j.job.Name)
 		}
-		running = kept
+	}()
+	j.task.WaitStart() // fires at the job's arrival
+	q.pending = append(q.pending, j)
+	q.cnt.submitted++
+	if n := len(q.pending); n > q.cnt.peakQueue {
+		q.cnt.peakQueue = n
 	}
-
-	// nextRelease returns the earliest pending release time, or -1.
-	nextRelease := func() vclock.Time {
-		t := vclock.Time(-1)
-		for _, e := range running {
-			if t < 0 || e.at < t {
-				t = e.at
-			}
-		}
-		return t
+	q.dispatch(j.job.Arrival, j)
+	if !j.granted {
+		// Allocation wait: park until a dispatch grants our nodes. The wake
+		// arrives at the grant instant, so the task resumes exactly when its
+		// reservation starts.
+		j.task.Park()
 	}
+	j.task.SleepUntil(j.end)
+	q.freeC += j.grantedC
+	q.freeB += j.grantedB
+	q.removeRunning(j)
+	q.dispatch(j.end, nil)
+}
 
-	place := func(j Job, grantedC, grantedB int, stretch float64) {
-		dur := vclock.Time(j.Duration.Seconds() * stretch)
-		p := Placed{Job: j, Start: now, End: now + dur, Cluster: grantedC, Booster: grantedB}
-		sched.Placed = append(sched.Placed, p)
-		running = append(running, event{at: p.End, cluster: grantedC, booster: grantedB})
-		freeC -= grantedC
-		freeB -= grantedB
-		if p.End > sched.Makespan {
-			sched.Makespan = p.End
+// dispatch re-runs the queue policy at virtual time now, holding the baton.
+// self is the job whose task is currently executing (nil from a completion):
+// a grant to self just sets its state — the task continues inline — while a
+// grant to any other pending job wakes its parked task at now.
+func (q *queueRun) dispatch(now vclock.Time, self *qjob) {
+	for len(q.pending) > 0 && q.tryStart(q.pending[0], now, self) {
+		q.pending[0] = nil
+		q.pending = q.pending[1:]
+	}
+	if q.policy != Backfill || len(q.pending) == 0 {
+		return
+	}
+	// Conservative backfill: the head job holds a reservation at its earliest
+	// possible start (assuming running jobs release on time); later pending
+	// jobs may start now, at full size only, iff they fit the current hole
+	// AND finish by that reservation — backfilling never delays the head.
+	headStart := q.headStartEstimate(q.pending[0].job, now)
+	kept := q.pending[:1]
+	for _, cand := range q.pending[1:] {
+		if cand.job.Cluster <= q.freeC && cand.job.Booster <= q.freeB && now+cand.job.Duration <= headStart {
+			cand.backfilled = true
+			q.cnt.backfilled++
+			q.grant(cand, cand.job.Cluster, cand.job.Booster, 1, now, self)
+		} else {
+			kept = append(kept, cand)
 		}
 	}
+	q.pending = kept
+}
 
-	// tryStart attempts to start job j now, honouring malleability.
-	tryStart := func(j Job) bool {
-		if j.Cluster <= freeC && j.Booster <= freeB {
-			place(j, j.Cluster, j.Booster, 1)
-			return true
-		}
-		if !j.Malleable {
-			return false
-		}
-		gc := min(j.Cluster, freeC)
-		gb := min(j.Booster, freeB)
-		if gc < j.MinCluster || gb < j.MinBooster {
-			return false
-		}
-		stretch := 1.0
-		if j.Cluster > 0 && gc > 0 {
-			stretch = max64(stretch, float64(j.Cluster)/float64(gc))
-		}
-		if j.Booster > 0 && gb > 0 {
-			stretch = max64(stretch, float64(j.Booster)/float64(gb))
-		}
-		place(j, gc, gb, stretch)
+// tryStart attempts to start job j now, honouring malleability.
+func (q *queueRun) tryStart(j *qjob, now vclock.Time, self *qjob) bool {
+	if j.job.Cluster <= q.freeC && j.job.Booster <= q.freeB {
+		q.grant(j, j.job.Cluster, j.job.Booster, 1, now, self)
 		return true
 	}
-
-	for i := 0; i < len(queue); {
-		head := queue[i]
-		if head.Arrival > now {
-			advanceTo(head.Arrival)
-		}
-		if tryStart(head) {
-			i++
-			continue
-		}
-		if policy == Backfill {
-			// Earliest possible start of the head job, assuming all running
-			// jobs release on time.
-			headStart := headStartEstimate(head, running, freeC, freeB, now)
-			for k := i + 1; k < len(queue); k++ {
-				cand := queue[k]
-				if cand.Arrival > now || cand.Cluster > freeC || cand.Booster > freeB {
-					continue
-				}
-				if now+cand.Duration <= headStart {
-					place(cand, cand.Cluster, cand.Booster, 1)
-					queue = append(queue[:k], queue[k+1:]...)
-					k--
-				}
-			}
-		}
-		// Wait for the next release (or next arrival if sooner).
-		nr := nextRelease()
-		if i < len(queue) && queue[i].Arrival > now && (nr < 0 || queue[i].Arrival < nr) {
-			advanceTo(queue[i].Arrival)
-			continue
-		}
-		if nr < 0 {
-			return Schedule{}, fmt.Errorf("sched: job %d (%s) cannot start and nothing is running", head.ID, head.Name)
-		}
-		advanceTo(nr)
+	if !j.job.Malleable {
+		return false
 	}
-	return sched, nil
+	gc := min(j.job.Cluster, q.freeC)
+	gb := min(j.job.Booster, q.freeB)
+	if gc < j.job.MinCluster || gb < j.job.MinBooster {
+		return false
+	}
+	stretch := 1.0
+	if j.job.Cluster > 0 && gc > 0 {
+		stretch = max64(stretch, float64(j.job.Cluster)/float64(gc))
+	}
+	if j.job.Booster > 0 && gb > 0 {
+		stretch = max64(stretch, float64(j.job.Booster)/float64(gb))
+	}
+	q.grant(j, gc, gb, stretch, now, self)
+	return true
+}
+
+// grant reserves nodes for j starting now and records the placement. If j's
+// task is parked (any job but self) the grant wakes it at the start instant.
+func (q *queueRun) grant(j *qjob, gc, gb int, stretch float64, now vclock.Time, self *qjob) {
+	dur := vclock.Time(j.job.Duration.Seconds() * stretch)
+	j.granted = true
+	j.grantedC, j.grantedB = gc, gb
+	j.start, j.end = now, now+dur
+	if gc < j.job.Cluster || gb < j.job.Booster {
+		j.shrunk = true
+		q.cnt.shrunk++
+	}
+	q.freeC -= gc
+	q.freeB -= gb
+	q.running = append(q.running, j)
+	q.cnt.started++
+	p := Placed{Job: j.job, Start: j.start, End: j.end, Cluster: gc, Booster: gb}
+	q.sched.Placed = append(q.sched.Placed, p)
+	if j.end > q.sched.Makespan {
+		q.sched.Makespan = j.end
+	}
+	if j != self {
+		j.task.WakeAt(now)
+	}
+}
+
+// removeRunning drops a completed job from the running set.
+func (q *queueRun) removeRunning(j *qjob) {
+	for i, r := range q.running {
+		if r == j {
+			last := len(q.running) - 1
+			q.running[i] = q.running[last]
+			q.running[last] = nil
+			q.running = q.running[:last]
+			return
+		}
+	}
 }
 
 // headStartEstimate computes when the head job could start if released
 // resources accumulate on schedule.
-func headStartEstimate(head Job, running []event, freeC, freeB int, now vclock.Time) vclock.Time {
-	evs := append([]event(nil), running...)
+func (q *queueRun) headStartEstimate(head Job, now vclock.Time) vclock.Time {
+	evs := make([]event, 0, len(q.running))
+	for _, r := range q.running {
+		evs = append(evs, event{at: r.end, cluster: r.grantedC, booster: r.grantedB})
+	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
-	c, b := freeC, freeB
+	c, b := q.freeC, q.freeB
 	if head.Cluster <= c && head.Booster <= b {
 		return now
 	}

@@ -2,29 +2,48 @@
 // Cluster-Booster machine — the role ParaStation management plus the DEEP
 // batch-system extensions play on the prototype (§II-A of the paper, ref [5]).
 //
-// Its two jobs:
+// Its three jobs:
 //
 //  1. Online allocation: reserve Cluster and Booster nodes independently (the
 //     property §II-A contrasts with accelerated clusters), and place spawned
-//     process groups (psmpi.Placement).
-//  2. Batch scheduling: simulate a job queue under FCFS or FCFS+backfill,
-//     including malleable jobs that can shrink to available resources, as in
-//     the DEEP scheduling work (ref [5]).
+//     process groups (psmpi.Placement) — either machine-wide (Manager) or
+//     inside a live allocation (Allocation.PlaceSpawn).
+//  2. Batch scheduling on the event kernel: SimulateQueue runs each job as an
+//     engine.Task that parks until the scheduler grants its nodes, under FCFS
+//     or FCFS+conservative-backfill, including malleable jobs that shrink to
+//     available resources, as in the DEEP scheduling work (ref [5]).
+//  3. Facility simulation: RunFacility drives a seeded synthetic arrival
+//     stream — thousands of concurrent jobs on one kernel — through the
+//     queue policies and reports utilization, bounded slowdown and makespan.
+//
+// # Why there is no lock here
+//
+// Through PR 6 the Manager carried a sync.Mutex, a holdover from the
+// pre-kernel goroutine/rendezvous execution model where any rank's goroutine
+// could call Alloc or Release at any host moment. On the event kernel that
+// concurrency does not exist: every execution context of a simulated job is
+// an engine.Task, exactly one of which runs at a time (the baton), so every
+// Manager call is already serialised by the kernel. Across scenarios there
+// is no sharing either — each sweep scenario boots a private core.System
+// with its own Manager. Dropping the mutex follows the same argument PR 4
+// made for scr and PR 6 made for the I/O stack: the kernel's cooperative
+// scheduling is the synchronisation.
 package sched
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"clusterbooster/internal/machine"
 )
 
-// Manager tracks node availability and serves allocations.
+// Manager tracks node availability and serves allocations. It is kernel
+// state: all methods must be called from the owning scenario's goroutines
+// (one task at a time under the engine baton), never shared across
+// scenarios — see the package comment for the serialization argument.
 type Manager struct {
 	sys *machine.System
 
-	mu    sync.Mutex
 	free  map[machine.Module][]*machine.Node
 	next  int
 	alloc map[int]*Allocation
@@ -36,12 +55,41 @@ type Allocation struct {
 	ID      int
 	Cluster []*machine.Node
 	Booster []*machine.Node
+
+	rr map[machine.Module]int // round-robin cursor for in-allocation spawns
 }
 
 // Nodes returns all nodes of the allocation, Cluster first.
 func (a *Allocation) Nodes() []*machine.Node {
 	out := append([]*machine.Node(nil), a.Cluster...)
 	return append(out, a.Booster...)
+}
+
+// PlaceSpawn implements psmpi.Placement scoped to the allocation: spawned
+// groups land round-robin on the allocation's own nodes of the target
+// module, never outside the reservation — the batch-system behaviour of the
+// prototype, where a job's dynamic spawns stay inside its booking. Install
+// it per launch via psmpi.LaunchSpec.Placement.
+func (a *Allocation) PlaceSpawn(n int, mod machine.Module) ([]*machine.Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: spawn of %d procs", n)
+	}
+	pool := a.Cluster
+	if mod == machine.Booster {
+		pool = a.Booster
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("sched: allocation %d holds no %v nodes", a.ID, mod)
+	}
+	if a.rr == nil {
+		a.rr = map[machine.Module]int{}
+	}
+	out := make([]*machine.Node, n)
+	for i := range out {
+		out[i] = pool[(a.rr[mod]+i)%len(pool)]
+	}
+	a.rr[mod] = (a.rr[mod] + n) % len(pool)
+	return out, nil
 }
 
 // NewManager builds a manager with all nodes of the system free.
@@ -60,8 +108,6 @@ func NewManager(sys *machine.System) *Manager {
 
 // FreeCount returns the number of free nodes in a module.
 func (m *Manager) FreeCount(mod machine.Module) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return len(m.free[mod])
 }
 
@@ -71,8 +117,6 @@ func (m *Manager) Alloc(cluster, booster int) (*Allocation, error) {
 	if cluster < 0 || booster < 0 {
 		return nil, fmt.Errorf("sched: negative allocation request (%d, %d)", cluster, booster)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if cluster > len(m.free[machine.Cluster]) {
 		return nil, fmt.Errorf("sched: %d cluster nodes requested, %d free", cluster, len(m.free[machine.Cluster]))
 	}
@@ -99,8 +143,6 @@ func (m *Manager) Release(a *Allocation) {
 	if a == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.alloc[a.ID]; !ok {
 		return
 	}
@@ -118,8 +160,6 @@ func sortByID(ns []*machine.Node) {
 // Grow extends an existing allocation by extra nodes of one module — the
 // malleability primitive of ref [5]. Returns the added nodes.
 func (m *Manager) Grow(a *Allocation, mod machine.Module, extra int) ([]*machine.Node, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if extra < 0 || extra > len(m.free[mod]) {
 		return nil, fmt.Errorf("sched: cannot grow by %d %v nodes (%d free)", extra, mod, len(m.free[mod]))
 	}
@@ -136,8 +176,6 @@ func (m *Manager) Grow(a *Allocation, mod machine.Module, extra int) ([]*machine
 
 // Shrink releases the last n nodes of one module from the allocation.
 func (m *Manager) Shrink(a *Allocation, mod machine.Module, n int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	pool := &a.Cluster
 	if mod == machine.Booster {
 		pool = &a.Booster
@@ -160,8 +198,6 @@ func (m *Manager) PlaceSpawn(n int, mod machine.Module) ([]*machine.Node, error)
 	if n <= 0 {
 		return nil, fmt.Errorf("sched: spawn of %d procs", n)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if free := m.free[mod]; len(free) > 0 {
 		out := make([]*machine.Node, n)
 		for i := range out {

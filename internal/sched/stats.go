@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Process-wide batch-queue counters, maintained with atomics: queue runs
+// tick them from whatever sweep worker runs the owning scenario. They mirror
+// engine's kernel counters and ioev's I/O counters — cheap monotonic
+// aggregates for the -stats flag, never consulted by the scheduler itself
+// (experiment metrics are computed deterministically from schedule state,
+// not from these).
+var global struct {
+	submitted  atomic.Uint64
+	started    atomic.Uint64
+	backfilled atomic.Uint64
+	shrunk     atomic.Uint64
+	peakQueue  atomic.Uint64
+}
+
+// noteQueueRun folds one queue run's counters into the process-wide totals
+// (one bulk update per run, not one per job).
+func noteQueueRun(c queueCounters) {
+	global.submitted.Add(uint64(c.submitted))
+	global.started.Add(uint64(c.started))
+	global.backfilled.Add(uint64(c.backfilled))
+	global.shrunk.Add(uint64(c.shrunk))
+	for {
+		cur := global.peakQueue.Load()
+		if uint64(c.peakQueue) <= cur || global.peakQueue.CompareAndSwap(cur, uint64(c.peakQueue)) {
+			return
+		}
+	}
+}
+
+// Stats is a snapshot of the process-wide batch-queue counters.
+type Stats struct {
+	// Submitted is the number of jobs that entered a queue.
+	Submitted uint64
+	// Started is the number of jobs granted nodes.
+	Started uint64
+	// Backfilled is the number of jobs started ahead of the queue head.
+	Backfilled uint64
+	// Shrunk is the number of malleable jobs started below requested size.
+	Shrunk uint64
+	// PeakQueue is the high-water mark of jobs waiting in any single queue.
+	PeakQueue uint64
+}
+
+// Global snapshots the process-wide batch-queue counters.
+func Global() Stats {
+	return Stats{
+		Submitted:  global.submitted.Load(),
+		Started:    global.started.Load(),
+		Backfilled: global.backfilled.Load(),
+		Shrunk:     global.shrunk.Load(),
+		PeakQueue:  global.peakQueue.Load(),
+	}
+}
+
+// String renders the counters in the -stats flag format.
+func (s Stats) String() string {
+	return fmt.Sprintf("jobs=%d started=%d backfilled=%d shrunk=%d peak_queue=%d",
+		s.Submitted, s.Started, s.Backfilled, s.Shrunk, s.PeakQueue)
+}

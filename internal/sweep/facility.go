@@ -1,0 +1,39 @@
+// Facility scenarios: the fig-facility policy × load axis. A FacilityPoint
+// wraps a sched.FacilityParams into a self-contained Scenario — fresh
+// machine, fresh kernel, one seeded arrival stream of (typically) a
+// thousand jobs — so facility grids run host-parallel under the same
+// byte-determinism guarantee as every other sweep.
+package sweep
+
+import (
+	"clusterbooster/internal/sched"
+)
+
+// FacilityPoint is one fig-facility grid point: a synthetic multi-job
+// arrival stream scheduled on one event kernel under one queue policy.
+type FacilityPoint struct {
+	sched.FacilityParams
+}
+
+// Scenario wraps the point as a self-contained Scenario reporting facility
+// utilization, bounded slowdown, wait and queue activity.
+func (p FacilityPoint) Scenario(name string) Scenario {
+	return Scenario{Name: name, Run: func() (Outcome, error) {
+		out, err := sched.RunFacility(p.FacilityParams)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Metrics: Metrics{
+			"jobs":         float64(out.Jobs),
+			"makespan_s":   out.Makespan.Seconds(),
+			"util_cluster": out.UtilCluster,
+			"util_booster": out.UtilBooster,
+			"wait_mean_s":  out.MeanWait.Seconds(),
+			"bsld_mean":    out.MeanSlowdown,
+			"bsld_p95":     out.P95Slowdown,
+			"backfilled":   float64(out.Backfilled),
+			"shrunk":       float64(out.Shrunk),
+			"peak_queue":   float64(out.PeakQueue),
+		}}, nil
+	}}
+}

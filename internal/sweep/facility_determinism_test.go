@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"clusterbooster/internal/sched"
+)
+
+// facilityScenarios is a policy-diverse slice of the facility axis: one
+// overloaded 200-job stream per policy, all from the same seed so the three
+// kernels schedule the identical arrival sequence.
+func facilityScenarios() []Scenario {
+	var scen []Scenario
+	for _, pol := range sched.FacilityPolicies() {
+		p := sched.FacilityParams{Policy: pol, Jobs: 200, Load: 1.4, Seed: 42}
+		scen = append(scen, FacilityPoint{FacilityParams: p}.Scenario("fac/"+string(pol)))
+	}
+	return scen
+}
+
+func facilitySweepJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	rs := Run(facilityScenarios(), Options{Workers: workers})
+	if err := rs.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFacilityWorkerCountInvariance extends the kernel's determinism
+// property to the facility layer: the same seeds must produce byte-identical
+// facility sweep JSON under any host worker count, because each stream is a
+// private machine + kernel whose job tasks are serialised by the baton —
+// host scheduling never touches arrival order, grant order, or the backfill
+// scan.
+func TestFacilityWorkerCountInvariance(t *testing.T) {
+	// The overloaded streams must actually exercise the scheduler, or the
+	// property is vacuous.
+	rs := Run(facilityScenarios(), Options{Workers: 1})
+	if err := rs.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	backfilled, shrunk := 0.0, 0.0
+	for _, r := range rs.Results {
+		backfilled += r.Metrics["backfilled"]
+		shrunk += r.Metrics["shrunk"]
+	}
+	if backfilled == 0 || shrunk == 0 {
+		t.Fatalf("streams scheduled without backfills (%v) or shrinks (%v)", backfilled, shrunk)
+	}
+	reference := facilitySweepJSON(t, 1)
+	if testing.Short() {
+		if got := facilitySweepJSON(t, 4); !bytes.Equal(got, reference) {
+			t.Fatal("facility sweep JSON differs between 1 and 4 workers")
+		}
+		return
+	}
+	f := func(w uint8) bool {
+		workers := int(w)%16 + 1
+		return bytes.Equal(facilitySweepJSON(t, workers), reference)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatalf("facility worker-count invariance violated: %v", err)
+	}
+}
