@@ -6,9 +6,9 @@
 // Usage:
 //
 //	cbctl list [-v]
-//	cbctl run   [-workers N] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
-//	cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
-//	cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+//	cbctl run   [-workers N] [-kworkers K] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
+//	cbctl diff  [-workers N] [-kworkers K] [-v] [-tolerance] [-C dir] -all | <experiment> ...
+//	cbctl bless [-workers N] [-kworkers K] [-v] [-C dir] -all | <experiment> ...
 //	cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
 //
 // run prints one canonical JSON document per selected experiment; with
@@ -16,7 +16,9 @@
 // a streaming decoder, or select one experiment for a single JSON value).
 // -stats adds the execution-kernel counters and the scenario-cache hit/miss
 // counters on stderr; -cpuprofile/-memprofile capture pprof profiles of the
-// runs for perf work.
+// runs for perf work. -kworkers K runs each eligible scenario's event kernel
+// on K cores with the conservative synchronous-window scheme — results are
+// bit-identical to serial for every K, so run, diff and bless all accept it.
 //
 // bench maintains BENCH_kernel.json, the checked-in machine-readable
 // baseline of the kernel benchmarks: it parses `go test -bench -benchmem`
@@ -45,12 +47,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"clusterbooster/internal/benchdata"
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
+	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
 )
@@ -93,9 +97,9 @@ func dispatch(args []string, out, errw io.Writer) int {
 func usage(errw io.Writer) {
 	fmt.Fprintf(errw, `usage:
   cbctl list [-v]
-  cbctl run   [-workers N] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
-  cbctl diff  [-workers N] [-v] [-tolerance] [-C dir] -all | <experiment> ...
-  cbctl bless [-workers N] [-v] [-C dir] -all | <experiment> ...
+  cbctl run   [-workers N] [-kworkers K] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
+  cbctl diff  [-workers N] [-kworkers K] [-v] [-tolerance] [-C dir] -all | <experiment> ...
+  cbctl bless [-workers N] [-kworkers K] [-v] [-C dir] -all | <experiment> ...
   cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
 
 Experiments are the registered paper artifacts and sweeps (see 'cbctl list'
@@ -115,6 +119,7 @@ type verbFlags struct {
 	fs         *flag.FlagSet
 	all        *bool
 	workers    *int
+	kworkers   *int
 	verbose    *bool
 	tolerance  *bool
 	chdir      *string
@@ -142,10 +147,11 @@ func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText boo
 	fs := flag.NewFlagSet("cbctl "+verb, flag.ContinueOnError)
 	fs.SetOutput(errw)
 	v := verbFlags{
-		fs:      fs,
-		all:     fs.Bool("all", false, "select every registered experiment"),
-		workers: fs.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)"),
-		verbose: fs.Bool("v", false, "per-scenario progress on stderr"),
+		fs:       fs,
+		all:      fs.Bool("all", false, "select every registered experiment"),
+		workers:  fs.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)"),
+		kworkers: fs.Int("kworkers", 0, "kernel workers per eligible launch: conservative parallel execution of each scenario, bit-identical to serial (0/1 = serial)"),
+		verbose:  fs.Bool("v", false, "per-scenario progress on stderr"),
 	}
 	if withTolerance {
 		v.tolerance = fs.Bool("tolerance", false, "apply per-experiment relative tolerances to numeric drift")
@@ -211,6 +217,10 @@ func (v verbFlags) selectExps() ([]exp.Experiment, error) {
 }
 
 func (v verbFlags) options(errw io.Writer) exp.Options {
+	// The kernel worker count is a process-wide execution setting, not part
+	// of any scenario's configuration (results are bit-identical for every
+	// value, so it must never enter a cache key or a golden).
+	psmpi.SetDefaultKernelWorkers(*v.kworkers)
 	o := exp.Options{Workers: *v.workers}
 	if *v.verbose {
 		o.Observer = exp.ProgressObserver(errw, "cbctl")
@@ -459,6 +469,13 @@ func runBench(args []string, out, errw io.Writer) int {
 			fmt.Fprintln(errw, "cbctl: bench -update needs the source tree; run from inside the module or pass -C <root>")
 			return 2
 		}
+		// The speedups section is hand-maintained policy, not measurement:
+		// carry it forward from the previous baseline across re-records.
+		if old, err := os.ReadFile(filepath.Join(root, benchBaselineFile)); err == nil {
+			if prev, err := benchdata.ParseBaseline(old); err == nil {
+				fresh.Speedups = prev.Speedups
+			}
+		}
 		b, err := fresh.Canonical()
 		if err != nil {
 			fmt.Fprintf(errw, "cbctl: %v\n", err)
@@ -490,6 +507,7 @@ func runBench(args []string, out, errw io.Writer) int {
 			*maxAllocs = *maxRegress
 		}
 		regs := benchdata.Compare(baseline, fresh, *maxRegress, *maxAllocs)
+		regs = append(regs, benchdata.CheckSpeedups(baseline, fresh, runtime.NumCPU())...)
 		if len(regs) == 0 {
 			fmt.Fprintf(out, "ok   %d benchmarks within %.0f%% ns/op, %.0f%% allocs/op of %s\n",
 				len(baseline.Benchmarks), *maxRegress*100, *maxAllocs*100, benchBaselineFile)

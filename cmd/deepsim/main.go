@@ -18,6 +18,9 @@
 //	-sweep     run the paper's full evaluation grid through the sweep engine
 //	-scr       add the SCR checkpoint-level axis to the sweep
 //	-workers N bound the sweep worker pool (0 = GOMAXPROCS)
+//	-kworkers K run each eligible scenario's event kernel on K cores with the
+//	           conservative synchronous-window scheme (0/1 = serial); results
+//	           are bit-identical to serial for every K
 //	-json      emit canonical JSON (registry documents, or sweep results);
 //	           with multiple targets ("all") the output is a stream of
 //	           concatenated documents, one per target, not one JSON value
@@ -64,6 +67,7 @@ import (
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
+	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
@@ -87,6 +91,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "failure-sequence seed")
 	restartOverhead := flag.Float64("restart-overhead", 0.002, "fixed relaunch cost per restart, virtual seconds")
 	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
+	kworkers := flag.Int("kworkers", 0, "kernel workers per eligible launch: conservative parallel execution of each scenario, bit-identical to serial (0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
 	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
 	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
@@ -100,6 +105,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// The kernel worker count is a process-wide execution setting, not part
+	// of any scenario's configuration (results are bit-identical for every
+	// value, so it must never enter a cache key or a golden).
+	psmpi.SetDefaultKernelWorkers(*kworkers)
 
 	// os.Exit skips defers, so every exit path below goes through exit() to
 	// flush the -cpuprofile/-memprofile capture first.

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"clusterbooster/internal/vclock"
+)
+
+// parJob runs n task goroutines, one per group when parallel, stepping their
+// clocks in lockstep-free sleeps, and returns each task's recorded trace and
+// recovered panic.
+func parJob(n int, groups int, lookahead vclock.Time, body func(t *Task, i int, log *[]string)) (logs [][]string, panics []any, stats Stats) {
+	e := New()
+	if groups > 1 {
+		if !e.SetParallel(groups, lookahead) {
+			panic("parJob: SetParallel refused")
+		}
+	}
+	tasks := make([]*Task, n)
+	logs = make([][]string, n)
+	panics = make([]any, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = e.NewTask(fmt.Sprintf("task %d", i))
+		if groups > 1 {
+			tasks[i].SetGroup(i % groups)
+		}
+		tasks[i].StartAt(0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			defer tasks[i].Exit()
+			defer func() { panics[i] = recover() }()
+			tasks[i].WaitStart()
+			body(tasks[i], i, &logs[i])
+		}(i)
+	}
+	e.Run()
+	wg.Wait()
+	return logs, panics, e.Stats()
+}
+
+// TestParallelRoundsAndInvariant drives a multi-group kernel through many
+// short windows and checks the counter identity Events == Switches + Kept +
+// Callbacks still holds, with round accounting populated.
+func TestParallelRoundsAndInvariant(t *testing.T) {
+	body := func(tk *Task, i int, log *[]string) {
+		at := vclock.Time(0)
+		for s := 0; s < 50; s++ {
+			at += vclock.Time(1+(i+s)%3) * vclock.Microsecond
+			tk.SleepUntil(at)
+		}
+		*log = append(*log, fmt.Sprintf("done@%v", at))
+	}
+	serialLogs, _, _ := parJob(6, 1, 0, body)
+	logs, panics, st := parJob(6, 3, 2*vclock.Microsecond, body)
+	for i, p := range panics {
+		if p != nil {
+			t.Fatalf("task %d panicked: %v", i, p)
+		}
+	}
+	for i := range logs {
+		if fmt.Sprint(logs[i]) != fmt.Sprint(serialLogs[i]) {
+			t.Errorf("task %d: %v (parallel) != %v (serial)", i, logs[i], serialLogs[i])
+		}
+	}
+	if st.Groups != 3 || st.Rounds == 0 || st.GroupRuns == 0 {
+		t.Errorf("parallel accounting: %+v", st)
+	}
+	if st.Events != st.Switches+st.Kept+st.Callbacks {
+		t.Errorf("counter identity broken: events=%d switches=%d kept=%d callbacks=%d",
+			st.Events, st.Switches, st.Kept, st.Callbacks)
+	}
+}
+
+// TestSetParallelGuards covers the serial-fallback decisions and the
+// registration-order panic.
+func TestSetParallelGuards(t *testing.T) {
+	e := New()
+	if e.SetParallel(1, vclock.Microsecond) {
+		t.Error("SetParallel accepted a single group")
+	}
+	if e.Stats().Fallback != FallbackSingleGroup {
+		t.Errorf("fallback = %q, want %q", e.Stats().Fallback, FallbackSingleGroup)
+	}
+
+	e = New()
+	if e.SetParallel(2, 0) {
+		t.Error("SetParallel accepted zero lookahead")
+	}
+	if e.Stats().Fallback != FallbackZeroLookahead {
+		t.Errorf("fallback = %q, want %q", e.Stats().Fallback, FallbackZeroLookahead)
+	}
+
+	e = New()
+	e.NewTask("early")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetParallel after task registration did not panic")
+			}
+		}()
+		e.SetParallel(2, vclock.Microsecond)
+	}()
+}
+
+// failAll tears a job down at exactly the given instant and reports each
+// task's fate: the error observed and the virtual time of its last completed
+// step.
+func failAll(t *testing.T, groups int, lookahead, failAt vclock.Time) []string {
+	t.Helper()
+	cause := errors.New("node down")
+	e := New()
+	if groups > 1 {
+		if !e.SetParallel(groups, lookahead) {
+			t.Fatal("SetParallel refused")
+		}
+	}
+	const n = 4
+	tasks := make([]*Task, n)
+	fates := make([]string, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = e.NewTask(fmt.Sprintf("task %d", i))
+		if groups > 1 {
+			tasks[i].SetGroup(i % groups)
+		}
+		tasks[i].StartAt(0)
+	}
+	e.CallAt(failAt, func() {
+		for _, tk := range tasks {
+			tk.Fail(failAt, cause)
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			defer tasks[i].Exit()
+			last := vclock.Time(0)
+			defer func() {
+				r := recover()
+				tf, ok := r.(*TaskFailure)
+				if !ok {
+					fates[i] = fmt.Sprintf("panic=%v last=%v", r, last)
+					return
+				}
+				fates[i] = fmt.Sprintf("failed=%v last=%v", tf.Reason, last)
+			}()
+			tasks[i].WaitStart()
+			at := vclock.Time(0)
+			for {
+				at += vclock.Time(1+i%2) * vclock.Microsecond
+				tasks[i].SleepUntil(at)
+				last = at
+			}
+		}(i)
+	}
+	e.Run()
+	wg.Wait()
+	return fates
+}
+
+// TestParallelFailureOnWindowBoundary injects a teardown callback exactly at
+// a round's window edge (minAt + lookahead with these step sizes) and checks
+// the parallel teardown matches the serial one task by task.
+func TestParallelFailureOnWindowBoundary(t *testing.T) {
+	const lookahead = 2 * vclock.Microsecond
+	// Tasks step at 1µs/2µs; at failAt=6µs the pending minimum is 6µs ...
+	// 6µs = minAt, and the callback lands exactly on the previous round's
+	// window edge minAt+lookahead for minAt=4µs.
+	for _, failAt := range []vclock.Time{
+		6 * vclock.Microsecond,      // exactly on a window edge
+		6*vclock.Microsecond + 1e-9, // just past it
+	} {
+		serial := failAll(t, 1, 0, failAt)
+		par := failAll(t, 2, lookahead, failAt)
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Errorf("failAt=%v task %d: serial %q != parallel %q", failAt, i, serial[i], par[i])
+			}
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // then the standing sweeps. cbctl list and deepsim all follow it.
 var paperOrder = []string{
 	"table1", "table2", "fig3", "fig7", "fig8", "fig8-scale", "fig8-scale4096",
-	"fig-resilience", "fig-io", "fig-facility",
+	"fig8-scale16384", "fig-resilience", "fig-io", "fig-facility", "facility-10k",
 	"sweep/fig3", "sweep/fig7", "sweep/fig8", "sweep/paper", "sweep/xpic-weak",
 }
 

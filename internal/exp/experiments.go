@@ -172,9 +172,11 @@ func init() {
 	registerFig8()
 	registerFig8Scale()
 	registerFig8Scale4096()
+	registerFig8Scale16384()
 	registerFigResilience()
 	registerFigIO()
 	registerFigFacility()
+	registerFacility10k()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()
@@ -544,6 +546,95 @@ func registerFig8Scale4096() {
 			measures[fmt.Sprintf("gain_vs_booster_n%d", n)] = b / s
 		}
 		meta := profileMeta(cfg, "ci-scale4096")
+		return e.document(meta, measures, rs)
+	}
+	e.Render = func(d Document) (string, error) {
+		rs, err := parsePayload[sweep.ResultSet](d)
+		if err != nil {
+			return "", err
+		}
+		return rs.RenderText(), nil
+	}
+	Register(e)
+}
+
+// Scale16384Profile returns the workload of the fig8-scale16384 study: the
+// Scale4096Profile geometry stretched again to 32768 rows, so the grid
+// decomposes to the 2-rows-per-rank floor at n = 16384 — another 4x past
+// fig8-scale4096. Steps and CG budget are trimmed to the minimum that still
+// exercises the full step pipeline, because the C+B point runs 32769 tasks
+// on one kernel; this family is the flagship workload of the conservative
+// parallel kernel (-kworkers), whose synchronous windows it was sized for.
+func Scale16384Profile() xpic.Config {
+	cfg := Scale4096Profile()
+	cfg.NY = 32768
+	cfg.Steps = 2
+	cfg.CGMaxIter = 4
+	cfg.DiagEvery = 1
+	return cfg
+}
+
+// registerFig8Scale16384 registers the n=16384 extension of the fig8-scale
+// family: Booster-only vs C+B at 4096 and 16384 ranks per solver on the
+// stretched workload. As with fig8-scale4096 it is a separate experiment so
+// the earlier goldens stay byte-identical, and the n=4096 point inside THIS
+// profile is the efficiency reference.
+func registerFig8Scale16384() {
+	counts := []int{4096, 16384}
+	e := Experiment{
+		Name:    "fig8-scale16384",
+		Title:   "Beyond the prototype, 16x further: C+B vs Booster-only at n=16384",
+		Version: 1,
+		Grid:    "2 node counts (4096,16384) x 2 execution modes (Booster, C+B), pinned scale16384 workload",
+		Profile: "ci-scale16384",
+		Tolerance: map[string]float64{
+			"*": 0.02,
+		},
+		// Same regime as fig8-scale4096, 4x further: strong scaling at the
+		// 2-rows-per-rank floor is communication-bound and the fixed
+		// MPI_Comm_spawn cost dominates 2 trimmed steps outright, so C+B
+		// loses to Booster-only. The bounds pin the measured behaviour as a
+		// regression floor.
+		Budgets: []Budget{
+			{Measure: "eff_split_n16384", Kind: MinBudget, Bound: 0.15},
+			{Measure: "gain_vs_booster_n16384", Kind: MinBudget, Bound: 0.03},
+			{Measure: "split_makespan_n16384_s", Kind: MaxBudget, Bound: 0.035},
+			{Measure: "booster_makespan_n16384_s", Kind: MaxBudget, Bound: 0.003},
+		},
+	}
+	e.Run = func(o Options) (Document, error) {
+		cfg := Scale16384Profile()
+		grid := sweep.Grid{
+			Name:       "fig8-scale16384",
+			NodeCounts: counts,
+			Modes:      []xpic.Mode{xpic.BoosterOnly, xpic.SplitCB},
+			Workloads:  []sweep.WorkloadVariant{{Name: "scale16384", Config: cfg}},
+		}
+		scen, err := grid.Scenarios()
+		if err != nil {
+			return Document{}, err
+		}
+		rs := sweep.Run(scen, sweepOpts(o))
+		if err := rs.FirstError(); err != nil {
+			return Document{}, fmt.Errorf("exp: fig8-scale16384: %w", err)
+		}
+		// Grid order: node counts outermost, then [Booster, C+B].
+		makespan := func(i int) (booster, split float64) {
+			return rs.Results[2*i].Metrics["makespan_s"], rs.Results[2*i+1].Metrics["makespan_s"]
+		}
+		b0, s0 := makespan(0)
+		n0 := float64(counts[0])
+		measures := map[string]float64{}
+		for i, n := range counts {
+			b, s := makespan(i)
+			measures[fmt.Sprintf("booster_makespan_n%d_s", n)] = b
+			measures[fmt.Sprintf("split_makespan_n%d_s", n)] = s
+			// Strong-scaling efficiency relative to the n=4096 point.
+			measures[fmt.Sprintf("eff_booster_n%d", n)] = b0 * n0 / (b * float64(n))
+			measures[fmt.Sprintf("eff_split_n%d", n)] = s0 * n0 / (s * float64(n))
+			measures[fmt.Sprintf("gain_vs_booster_n%d", n)] = b / s
+		}
+		meta := profileMeta(cfg, "ci-scale16384")
 		return e.document(meta, measures, rs)
 	}
 	e.Render = func(d Document) (string, error) {

@@ -29,17 +29,36 @@ const facilityJobs = 1000
 func facilitySeed(load float64) int64 { return 20180521 + int64(load*100+0.5) }
 
 // facilityPointName names one grid point, e.g. "fig-facility/backfill/load140".
-func facilityPointName(pol sched.FacilityPolicy, load float64) string {
-	return fmt.Sprintf("fig-facility/%s/load%d", pol, int(load*100+0.5))
+func facilityPointName(family string, pol sched.FacilityPolicy, load float64) string {
+	return fmt.Sprintf("%s/%s/load%d", family, pol, int(load*100+0.5))
 }
 
+// registerFigFacility registers the canonical 1000-job family.
 func registerFigFacility() {
+	registerFacilityFamily("fig-facility",
+		"Facility simulation: 1000-job arrival streams vs queue policy (§II-A batch system, ref [5])",
+		facilityJobs)
+}
+
+// registerFacility10k registers the 10x stream: 10000 jobs per grid point.
+// The long stream spends most of its span in queueing steady state, so the
+// policy gaps it pins are sharper than the 1000-job family's — and each
+// point feeds 10001 tasks through one event kernel, which (with the
+// fig8-scale16384 family) makes it a standing workload for the conservative
+// parallel kernel (-kworkers).
+func registerFacility10k() {
+	registerFacilityFamily("facility-10k",
+		"Facility simulation, 10x stream: 10000-job arrivals vs queue policy",
+		10*facilityJobs)
+}
+
+func registerFacilityFamily(family, title string, jobs int) {
 	e := Experiment{
-		Name:    "fig-facility",
-		Title:   "Facility simulation: 1000-job arrival streams vs queue policy (§II-A batch system, ref [5])",
+		Name:    family,
+		Title:   title,
 		Version: 1,
-		Grid:    "{fcfs, backfill, malleable} x load {0.7, 1.4}, 1000 jobs per stream on a 64+32-node machine",
-		Profile: "facility-1000",
+		Grid:    fmt.Sprintf("{fcfs, backfill, malleable} x load {0.7, 1.4}, %d jobs per stream on a 64+32-node machine", jobs),
+		Profile: fmt.Sprintf("facility-%d", jobs),
 		Tolerance: map[string]float64{
 			"*": 0.02,
 		},
@@ -61,30 +80,31 @@ func registerFigFacility() {
 			// The overloaded Booster pool stays near-saturated under backfill.
 			{Measure: "backfill_util_booster", Kind: MinBudget, Bound: 0.9},
 			// Every stream must complete end to end on one kernel.
-			{Measure: "min_jobs", Kind: MinBudget, Bound: facilityJobs},
+			{Measure: "min_jobs", Kind: MinBudget, Bound: float64(jobs)},
 			// At light load the facility is healthy: mean bounded slowdown
 			// stays near 1 for every policy.
 			{Measure: "light_load_bsld_mean", Kind: MaxBudget, Bound: 2.5},
 			// Virtual-time ceiling across the grid: the family must stay a
-			// CI-speed miniature.
-			{Measure: "max_makespan_s", Kind: MaxBudget, Bound: 300},
+			// CI-speed miniature. The overloaded stream's span grows linearly
+			// with its length, so the ceiling scales with the job count.
+			{Measure: "max_makespan_s", Kind: MaxBudget, Bound: 300 * float64(jobs) / facilityJobs},
 		},
 	}
 	e.Run = func(o Options) (Document, error) {
 		var scen []sweep.Scenario
 		for _, pol := range sched.FacilityPolicies() {
 			for _, load := range facilityLoads() {
-				p := sched.FacilityParams{Policy: pol, Jobs: facilityJobs, Load: load, Seed: facilitySeed(load)}
-				scen = append(scen, sweep.FacilityPoint{FacilityParams: p}.Scenario(facilityPointName(pol, load)))
+				p := sched.FacilityParams{Policy: pol, Jobs: jobs, Load: load, Seed: facilitySeed(load)}
+				scen = append(scen, sweep.FacilityPoint{FacilityParams: p}.Scenario(facilityPointName(family, pol, load)))
 			}
 		}
 		rs := sweep.Run(scen, sweepOpts(o))
 		if err := rs.FirstError(); err != nil {
-			return Document{}, fmt.Errorf("exp: fig-facility: %w", err)
+			return Document{}, fmt.Errorf("exp: %s: %w", family, err)
 		}
 		measures := sweepMeasures(rs)
 		at := func(pol sched.FacilityPolicy, load float64, metric string) float64 {
-			name := facilityPointName(pol, load)
+			name := facilityPointName(family, pol, load)
 			for _, r := range rs.Results {
 				if r.Name == name {
 					return r.Metrics[metric]
@@ -98,7 +118,7 @@ func registerFigFacility() {
 		measures["malleable_util_gain"] = at(sched.FacilityMalleable, 1.4, "util_cluster") / at(sched.FacilityBackfill, 1.4, "util_cluster")
 		measures["malleable_shrunk"] = at(sched.FacilityMalleable, 1.4, "shrunk")
 		measures["backfill_util_booster"] = at(sched.FacilityBackfill, 1.4, "util_booster")
-		minJobs := float64(facilityJobs)
+		minJobs := float64(jobs)
 		lightBSLD := 0.0
 		for _, pol := range sched.FacilityPolicies() {
 			for _, load := range facilityLoads() {
@@ -113,7 +133,7 @@ func registerFigFacility() {
 		measures["min_jobs"] = minJobs
 		measures["light_load_bsld_mean"] = lightBSLD
 		meta := map[string]string{
-			"profile":  "facility-1000",
+			"profile":  fmt.Sprintf("facility-%d", jobs),
 			"workload": "seeded exponential arrivals over the xpic catalog job mix; same stream per load across policies",
 			"grid":     "see internal/exp/facility.go; derived measures bind the load=1.4 points",
 		}

@@ -64,10 +64,10 @@ func (p *Proc) collTag(c *Comm) int {
 // collTagBlock is the number of reserved tags per collective invocation; it
 // bounds the number of internal rounds/steps a single collective may use —
 // and with them the largest communicator (the ring allgather uses one tag
-// per step, so size <= block). 8192 admits the fig8-scale4096 jobs. Tag
-// values only ever matter for matching, so the block size has no timing
-// effect.
-const collTagBlock = 1 << 13
+// per step, so size <= block). 65536 admits the fig8-scale16384 jobs and
+// the n=65536 deep-scale test point. Tag values only ever matter for
+// matching, so the block size has no timing effect.
+const collTagBlock = 1 << 16
 
 // Barrier synchronises all ranks of the communicator (dissemination
 // algorithm: ⌈log2 p⌉ rounds of zero-byte messages). On return every rank's
@@ -166,7 +166,7 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 	n := c.Size()
 	rel := (me - root + n) % n
 
-	acc := p.l.getF64(len(buf))
+	acc := p.getF64(len(buf))
 	copy(acc, buf)
 	sent := false
 	for mask := 1; mask < n; mask <<= 1 {
@@ -176,7 +176,7 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 				src := (srcRel + root) % n
 				part := p.recvTagged(c, src, base).slice()
 				op.apply(acc, part)
-				p.l.putF64(part)
+				p.putF64(part)
 			}
 		} else {
 			dstRel := rel &^ mask
@@ -190,7 +190,7 @@ func (p *Proc) ReduceF64(c *Comm, root int, buf []float64, op Op) {
 		copy(buf, acc)
 	}
 	if !sent {
-		p.l.putF64(acc)
+		p.putF64(acc)
 	}
 }
 
@@ -222,7 +222,7 @@ func (p *Proc) GatherF64(c *Comm, root int, buf []float64) []float64 {
 	me := p.rankIn(c)
 	n := c.Size()
 	if me != root {
-		cp := p.l.getF64(len(buf))
+		cp := p.getF64(len(buf))
 		copy(cp, buf)
 		p.sendTagged(c, root, base, payload{f64: cp, pooled: true}, 8*len(buf), modeStandard, true)
 		return nil
@@ -243,7 +243,7 @@ func (p *Proc) GatherF64(c *Comm, root int, buf []float64) []float64 {
 		data, _ := p.WaitF64(reqs[r])
 		copy(out[r*len(buf):], data)
 		if reqs[r].data.pooled {
-			p.l.putF64(data)
+			p.putF64(data)
 		}
 	}
 	return out
@@ -267,7 +267,7 @@ func (p *Proc) ScatterF64(c *Comm, root int, data []float64, buf []float64) {
 				copy(buf, data[r*chunk:(r+1)*chunk])
 				continue
 			}
-			part := p.l.getF64(chunk)
+			part := p.getF64(chunk)
 			copy(part, data[r*chunk:(r+1)*chunk])
 			reqs = append(reqs, p.sendTagged(c, r, base, payload{f64: part, pooled: true}, 8*chunk, modeStandard, false))
 		}
@@ -277,7 +277,7 @@ func (p *Proc) ScatterF64(c *Comm, root int, data []float64, buf []float64) {
 	pl := p.recvTagged(c, root, base)
 	copy(buf, pl.slice())
 	if pl.pooled {
-		p.l.putF64(pl.f64)
+		p.putF64(pl.f64)
 	}
 }
 
@@ -296,14 +296,14 @@ func (p *Proc) AllgatherF64(c *Comm, buf []float64) []float64 {
 	left := (me - 1 + n) % n
 	cur := me
 	for step := 0; step < n-1; step++ {
-		block := p.l.getF64(chunk)
+		block := p.getF64(chunk)
 		copy(block, out[cur*chunk:(cur+1)*chunk])
 		req := p.sendTagged(c, right, base+step, payload{f64: block, pooled: true}, 8*chunk, modeStandard, false)
 		in := p.recvTagged(c, left, base+step)
 		cur = (cur - 1 + n) % n
 		copy(out[cur*chunk:], in.slice())
 		if in.pooled {
-			p.l.putF64(in.f64)
+			p.putF64(in.f64)
 		}
 		p.wait(req)
 	}
@@ -325,13 +325,13 @@ func (p *Proc) AlltoallF64(c *Comm, data []float64, chunk int) []float64 {
 	for k := 1; k < n; k++ {
 		dst := (me + k) % n
 		src := (me - k + n) % n
-		block := p.l.getF64(chunk)
+		block := p.getF64(chunk)
 		copy(block, data[dst*chunk:(dst+1)*chunk])
 		req := p.sendTagged(c, dst, base+k, payload{f64: block, pooled: true}, 8*chunk, modeStandard, false)
 		in := p.recvTagged(c, src, base+k)
 		copy(out[src*chunk:], in.slice())
 		if in.pooled {
-			p.l.putF64(in.f64)
+			p.putF64(in.f64)
 		}
 		p.wait(req)
 	}

@@ -45,7 +45,9 @@ func (pl payload) slice() []float64 {
 // counts the parties that still read the envelope (the receiver; plus the
 // sender for rendezvous messages, which reads the completion time resolved
 // at match), and the last one returns it to the free list. The kernel's
-// serialisation makes the pool safe without any synchronisation.
+// serialisation makes the pool safe without any synchronisation — except
+// refs, dropped atomically because a rendezvous envelope's two owners may
+// release it concurrently from different groups of a parallel kernel.
 type envelope struct {
 	commID    uint64
 	src       int // sender's rank in its group
@@ -53,7 +55,7 @@ type envelope struct {
 	pl        payload
 	bytes     int
 	seq       uint64
-	refs      int8
+	refs      int32 // atomic decrement; plain writes only before delivery
 	eager     bool
 	interComm bool        // sent on an inter-communicator (staged path)
 	arrival   vclock.Time // eager only: when data is at the destination NIC
@@ -79,6 +81,12 @@ type postedRecv struct {
 	env    *envelope // set when matched
 	done   bool
 	waiter *engine.Task // receiver parked on this receive, if any
+	// senderDone is the receiver's copy of a matched rendezvous transfer's
+	// completion time. The receive paths read it instead of env.dmaEnd: when
+	// the matching sender sits in another kernel group, the write to the
+	// envelope (which the sender polls) is deferred to the round barrier,
+	// but the receiver may complete within the round.
+	senderDone vclock.Time
 }
 
 func (pr *postedRecv) matches(e *envelope) bool {
@@ -126,22 +134,38 @@ func (mb *mailbox) deliver(e *envelope, dst *Proc) {
 // messages it computes the sender's completion time, and it wakes whichever
 // side is parked on the outcome — the sender blocked in waitSend at its
 // transfer completion, the receiver blocked in Recv/Wait at the message's
-// arrival estimate.
+// arrival estimate. On a parallel kernel, a sender in another group may be
+// concurrently polling the envelope's completion state, so the sender-
+// visible commit is deferred to the round barrier; the receiver keeps its
+// own copy of the completion time in pr.senderDone.
 func completeMatch(pr *postedRecv, e *envelope, dst *Proc) {
 	pr.env = e
 	if !e.eager {
-		e.dmaEnd = dst.rt.net.RendezvousMatch(
+		dmaEnd := dst.rt.net.RendezvousMatch(
 			e.srcNode, dst.node, e.bytes, e.rts, e.injEnd, pr.posted)
-		e.dmaDone = true
-		if w := e.senderWaiter; w != nil {
-			e.senderWaiter = nil
-			w.WakeAt(e.dmaEnd)
+		pr.senderDone = dmaEnd
+		if dst.crossGroup(e.srcNode) {
+			dst.task.Defer(func() { commitSenderDone(e, dmaEnd) })
+		} else {
+			commitSenderDone(e, dmaEnd)
 		}
 	}
 	pr.done = true
 	if w := pr.waiter; w != nil {
 		pr.waiter = nil
 		w.WakeAt(recvWake(pr, e))
+	}
+}
+
+// commitSenderDone publishes a rendezvous transfer's completion to the
+// sender: from the matching receiver directly when both sides share a kernel
+// group (or the kernel is serial), otherwise replayed at the round barrier.
+func commitSenderDone(e *envelope, dmaEnd vclock.Time) {
+	e.dmaEnd = dmaEnd
+	e.dmaDone = true
+	if w := e.senderWaiter; w != nil {
+		e.senderWaiter = nil
+		w.WakeAt(dmaEnd)
 	}
 }
 
@@ -154,7 +178,7 @@ func recvWake(pr *postedRecv, e *envelope) vclock.Time {
 	if e.eager {
 		return vclock.Max(pr.posted, e.arrival)
 	}
-	return vclock.Max(pr.posted, e.dmaEnd)
+	return vclock.Max(pr.posted, pr.senderDone)
 }
 
 // takeUnexpected removes and returns the first unexpected envelope matching
@@ -220,7 +244,7 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, pl payload, bytes int, mode sen
 	p.Stats.BytesSent += int64(bytes)
 	p.sendSeq++
 
-	e := p.l.newEnv()
+	e := p.newEnv()
 	*e = envelope{
 		commID:    c.id,
 		src:       p.rankIn(c),
@@ -237,7 +261,7 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, pl payload, bytes int, mode sen
 		senderFree, nicArrival := p.rt.net.EagerSend(p.node, target.node, bytes, begin)
 		e.eager = true
 		e.arrival = nicArrival
-		target.mbox.deliver(e, target)
+		p.deliverTo(target, e)
 		// The sending CPU is busy until the NIC has the data, then free.
 		p.elapseComm(senderFree)
 		if blocking {
@@ -250,7 +274,7 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, pl payload, bytes int, mode sen
 	}
 	e.refs++ // the sender reads the matched completion time
 	e.rts, e.injEnd = p.rt.net.RendezvousIssue(p.node, target.node, bytes, begin)
-	target.mbox.deliver(e, target)
+	p.deliverTo(target, e)
 	// Rendezvous: the sender's CPU pays the issue overhead (posting the RTS)
 	// and may then continue; completion arrives through the handshake.
 	p.addComm(p.rt.net.SendOverheadOf(p.node))
@@ -259,6 +283,21 @@ func (p *Proc) sendTagged(c *Comm, dst, tag int, pl payload, bytes int, mode sen
 		return nil
 	}
 	return &Request{p: p, isSend: true, env: e}
+}
+
+// deliverTo hands an envelope to the target's mailbox. Same-group targets
+// (and every target of a serial kernel) receive it immediately, in the
+// sending rank's event order. A target in another kernel group owns its
+// mailbox concurrently, so the delivery is deferred to the round barrier;
+// the fabric's cross-node lookahead guarantees the message's effects lie at
+// or beyond the window edge, which keeps the replayed delivery order
+// consistent with the serial schedule.
+func (p *Proc) deliverTo(target *Proc, e *envelope) {
+	if p.l.par != nil && p.gid != target.gid {
+		p.task.Defer(func() { target.mbox.deliver(e, target) })
+		return
+	}
+	target.mbox.deliver(e, target)
 }
 
 // waitSend completes a non-blocking send request.
@@ -318,6 +357,9 @@ func (p *Proc) IssendF64Shared(c *Comm, dst, tag int, buf []float64) *Request {
 
 // recvCommon matches a message, timing the receive. Returns the envelope.
 func (p *Proc) recvCommon(c *Comm, src, tag int) *envelope {
+	if src == AnySource && p.l.par != nil {
+		panic("psmpi: AnySource receive on a parallel kernel (run with 1 kernel worker)")
+	}
 	if p.rt.trace != nil {
 		defer p.record("recv", p.clock.Now())
 	}
@@ -348,7 +390,9 @@ func (mb *mailbox) removePosted(pr *postedRecv) {
 }
 
 // completeRecvUnexpected times a receive that found its message already
-// queued (sender was first).
+// queued (sender was first). The sender-visible rendezvous commit follows
+// the same cross-group deferral rule as completeMatch; the receiver works
+// with its locally computed completion time either way.
 func (p *Proc) completeRecvUnexpected(e *envelope) {
 	p.Stats.Recvs++
 	p.Stats.BytesRecv += int64(e.bytes)
@@ -358,14 +402,14 @@ func (p *Proc) completeRecvUnexpected(e *envelope) {
 		p.stageInterRecv(e)
 		return
 	}
-	e.dmaEnd = p.rt.net.RendezvousMatch(
+	dmaEnd := p.rt.net.RendezvousMatch(
 		e.srcNode, p.node, e.bytes, e.rts, e.injEnd, p.clock.Now())
-	e.dmaDone = true
-	if w := e.senderWaiter; w != nil {
-		e.senderWaiter = nil
-		w.WakeAt(e.dmaEnd)
+	if p.crossGroup(e.srcNode) {
+		p.task.Defer(func() { commitSenderDone(e, dmaEnd) })
+	} else {
+		commitSenderDone(e, dmaEnd)
 	}
-	p.elapseComm(p.rendezvousArrival(e))
+	p.elapseComm(p.rendezvousArrival(e, dmaEnd))
 	p.stageInterRecv(e)
 }
 
@@ -380,7 +424,7 @@ func (p *Proc) completeRecvPosted(pr *postedRecv) {
 		p.stageInterRecv(e)
 		return
 	}
-	p.elapseComm(p.rendezvousArrival(e))
+	p.elapseComm(p.rendezvousArrival(e, pr.senderDone))
 	p.stageInterRecv(e)
 }
 
@@ -394,13 +438,14 @@ func (p *Proc) eagerArrival(e *envelope) vclock.Time {
 }
 
 // rendezvousArrival serialises a matched rendezvous transfer on this rank's
-// ejection link. e.dmaEnd was resolved at match time, before this rank
-// resumed, so reading it here is safe.
-func (p *Proc) rendezvousArrival(e *envelope) vclock.Time {
+// ejection link. dmaEnd is the completion time resolved at match, passed by
+// value: the envelope's copy may still be in flight to the round barrier
+// when the sender sits in another kernel group.
+func (p *Proc) rendezvousArrival(e *envelope, dmaEnd vclock.Time) vclock.Time {
 	if e.srcNode.ID == p.node.ID {
-		return e.dmaEnd
+		return dmaEnd
 	}
-	return p.rt.net.RendezvousEject(p.node, e.bytes, e.dmaEnd)
+	return p.rt.net.RendezvousEject(p.node, e.bytes, dmaEnd)
 }
 
 // stageInterRecv charges the receiver-side staging copy of
@@ -444,6 +489,9 @@ func (p *Proc) newPR() *postedRecv {
 
 // Irecv posts a non-blocking receive (MPI_Irecv); complete it with Wait.
 func (p *Proc) Irecv(c *Comm, src, tag int) *Request {
+	if src == AnySource && p.l.par != nil {
+		panic("psmpi: AnySource receive on a parallel kernel (run with 1 kernel worker)")
+	}
 	mb := p.mbox
 	req := &Request{p: p, mb: mb}
 	pr := p.newPR()
@@ -530,7 +578,7 @@ func (p *Proc) Waitall(reqs ...*Request) {
 // (RecvF64 returns it to the pool after copying out), so the steady-state
 // F64 traffic of a job allocates nothing.
 func (p *Proc) sendF64Copy(c *Comm, dst, tag int, buf []float64, mode sendMode, blocking bool) *Request {
-	cp := p.l.getF64(len(buf))
+	cp := p.getF64(len(buf))
 	copy(cp, buf)
 	return p.send(c, dst, tag, payload{f64: cp, pooled: true}, 8*len(buf), mode, blocking)
 }
@@ -564,7 +612,7 @@ func (p *Proc) RecvF64(c *Comm, src, tag int, buf []float64) (int, Status) {
 		panic(fmt.Sprintf("psmpi: receive buffer too small: %d < %d", len(buf), len(v)))
 	}
 	if e.pl.pooled {
-		p.l.putF64(v)
+		p.putF64(v)
 	}
 	p.releaseEnv(e)
 	return n, st

@@ -1,0 +1,313 @@
+package psmpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusterbooster/internal/engine"
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// launchWorkers launches main over the given nodes with the requested kernel
+// worker count and returns the result.
+func launchWorkers(t *testing.T, rt *Runtime, nodes []*machine.Node, workers int, main MainFunc) Result {
+	t.Helper()
+	res, err := rt.Launch(LaunchSpec{Nodes: nodes, Main: main, KernelWorkers: workers})
+	if err != nil {
+		t.Fatalf("job (kworkers=%d) failed: %v", workers, err)
+	}
+	return res
+}
+
+// sameOutcome fails the test unless two results agree exactly: makespan and
+// every rank's final clock and accounting must be bit-identical. Engine
+// counters are intentionally excluded — the parallel kernel parks and
+// switches differently by design.
+func sameOutcome(t *testing.T, label string, serial, par Result) {
+	t.Helper()
+	if serial.Makespan != par.Makespan {
+		t.Errorf("%s: makespan %v (serial) != %v (parallel)", label, serial.Makespan, par.Makespan)
+	}
+	if len(serial.Ranks) != len(par.Ranks) {
+		t.Fatalf("%s: rank count %d != %d", label, len(serial.Ranks), len(par.Ranks))
+	}
+	for i := range serial.Ranks {
+		if serial.Ranks[i] != par.Ranks[i] {
+			t.Errorf("%s: rank %d state differs:\n serial   %+v\n parallel %+v",
+				label, i, serial.Ranks[i], par.Ranks[i])
+		}
+	}
+}
+
+// exchangeMain is a representative communication mix: skewed compute, eager
+// neighbour halos, large rendezvous transfers, blocking ring traffic and
+// collectives, over several rounds.
+func exchangeMain(rounds int) MainFunc {
+	return func(p *Proc) error {
+		w := p.World()
+		me, n := p.Rank(), w.Size()
+		small := make([]float64, 32)    // eager
+		big := make([]float64, 64*1024) // rendezvous
+		for i := range small {
+			small[i] = float64(me*100 + i)
+		}
+		for r := 0; r < rounds; r++ {
+			// Skewed compute keeps the ranks' clocks apart so windows cut
+			// through the middle of exchanges.
+			p.Elapse(vclock.Time(1+((me*7+r*3)%5)) * vclock.Microsecond)
+
+			right, left := (me+1)%n, (me-1+n)%n
+			sreq := p.IsendF64Shared(w, right, 10+r, small)
+			rreq := p.Irecv(w, left, 10+r)
+			p.Wait(rreq)
+			p.Wait(sreq)
+
+			if r%2 == 0 {
+				// Rendezvous pairs: even ranks send to the next odd rank.
+				if me%2 == 0 && me+1 < n {
+					p.SendF64(w, me+1, 200+r, big)
+				} else if me%2 == 1 {
+					buf := make([]float64, len(big))
+					p.RecvF64(w, me-1, 200+r, buf)
+				}
+			}
+			p.AllreduceScalar(w, float64(me+r), OpSum)
+		}
+		p.Barrier(w)
+		return nil
+	}
+}
+
+func TestParallelWorkerInvariance(t *testing.T) {
+	const n = 8
+	main := exchangeMain(6)
+	serial := launchWorkers(t, testRuntime(n, 0), testRuntime(n, 0).System().Module(machine.Cluster)[:n], 1, main)
+	if serial.Engine.Groups != 0 {
+		t.Fatalf("serial run reports %d groups", serial.Engine.Groups)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		rt := testRuntime(n, 0)
+		nodes := rt.System().Module(machine.Cluster)[:n]
+		res := launchWorkers(t, rt, nodes, workers, main)
+		want := workers
+		if want > n {
+			want = n
+		}
+		if res.Engine.Groups != want {
+			t.Fatalf("kworkers=%d: engaged %d groups (fallback %q), want %d",
+				workers, res.Engine.Groups, res.Engine.Fallback, want)
+		}
+		if res.Engine.Rounds == 0 {
+			t.Errorf("kworkers=%d: no rounds recorded", workers)
+		}
+		sameOutcome(t, "kworkers="+string(rune('0'+workers)), serial, res)
+	}
+}
+
+func TestParallelMultiRankPerNode(t *testing.T) {
+	// Two ranks per node: co-located ranks must land in the same group, and
+	// the shared injection/ejection links stay group-local.
+	rt := testRuntime(4, 0)
+	cluster := rt.System().Module(machine.Cluster)
+	nodes := []*machine.Node{cluster[0], cluster[0], cluster[1], cluster[1], cluster[2], cluster[2]}
+	main := exchangeMain(4)
+	serial := launchWorkers(t, testRuntime(4, 0), nodes, 1, main)
+	par := launchWorkers(t, rt, nodes, 3, main)
+	if par.Engine.Groups != 3 {
+		t.Fatalf("engaged %d groups (fallback %q), want 3", par.Engine.Groups, par.Engine.Fallback)
+	}
+	sameOutcome(t, "multi-rank", serial, par)
+}
+
+func TestParallelSpawn(t *testing.T) {
+	// MPI_Comm_spawn mid-run: the children's task arming crosses the round
+	// barrier on a parallel kernel. The parents exchange with the children
+	// over the inter-communicator afterwards.
+	main := func(p *Proc) error {
+		w := p.World()
+		p.Elapse(vclock.Time(1+p.Rank()) * vclock.Microsecond)
+		inter, err := p.Spawn(w, SpawnSpec{Binary: "child", Procs: 2, Module: machine.Booster})
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			p.SendF64(inter, 0, 1, []float64{42})
+		}
+		p.Barrier(w)
+		return nil
+	}
+	child := func(p *Proc) error {
+		if p.Rank() == 0 {
+			buf := make([]float64, 1)
+			p.RecvF64(p.Parent(), 0, 1, buf)
+			if buf[0] != 42 {
+				t.Errorf("child got %v", buf[0])
+			}
+		}
+		p.Barrier(p.World())
+		return nil
+	}
+	run := func(workers int) Result {
+		rt := testRuntime(4, 4)
+		rt.Register("child", child)
+		return launchWorkers(t, rt, rt.System().Module(machine.Cluster)[:4], workers, main)
+	}
+	serial := run(1)
+	par := run(4)
+	if par.Engine.Groups != 4 {
+		t.Fatalf("engaged %d groups (fallback %q), want 4", par.Engine.Groups, par.Engine.Fallback)
+	}
+	sameOutcome(t, "spawn", serial, par)
+}
+
+func TestParallelFallbackReasons(t *testing.T) {
+	// Single node: nothing to partition.
+	rt := testRuntime(2, 0)
+	res := launchWorkers(t, rt, rt.System().Module(machine.Cluster)[:1], 4, func(p *Proc) error {
+		p.Elapse(vclock.Microsecond)
+		return nil
+	})
+	if res.Engine.Groups != 0 || res.Engine.Fallback != engine.FallbackSingleGroup {
+		t.Errorf("single node: groups=%d fallback=%q, want serial with %q",
+			res.Engine.Groups, res.Engine.Fallback, engine.FallbackSingleGroup)
+	}
+
+	// Failure injection forces serial teardown semantics.
+	rt = testRuntime(4, 0)
+	inj := NewFailureInjector(1e6*vclock.Second, 1, 1, rt.System().Module(machine.Cluster)[:4])
+	res, _ = rt.Launch(LaunchSpec{
+		Nodes:         rt.System().Module(machine.Cluster)[:4],
+		Main:          func(p *Proc) error { return nil },
+		Failures:      inj,
+		KernelWorkers: 4,
+	})
+	if res.Engine.Fallback != FallbackFailures {
+		t.Errorf("failure injection: fallback=%q, want %q", res.Engine.Fallback, FallbackFailures)
+	}
+
+	// Tracing pins the kernel to the serial global order.
+	rt = testRuntime(4, 0)
+	rt.EnableTracing()
+	res = launchWorkers(t, rt, rt.System().Module(machine.Cluster)[:4], 4, func(p *Proc) error {
+		p.Elapse(vclock.Microsecond)
+		return nil
+	})
+	if res.Engine.Fallback != FallbackTracing {
+		t.Errorf("tracing: fallback=%q, want %q", res.Engine.Fallback, FallbackTracing)
+	}
+
+	// Not requesting workers records nothing.
+	rt = testRuntime(2, 0)
+	res = launchWorkers(t, rt, rt.System().Module(machine.Cluster)[:2], 0, func(p *Proc) error { return nil })
+	if res.Engine.Groups != 0 || res.Engine.Fallback != "" {
+		t.Errorf("serial request: groups=%d fallback=%q, want silent serial", res.Engine.Groups, res.Engine.Fallback)
+	}
+}
+
+func TestParallelAnySourcePanics(t *testing.T) {
+	rt := testRuntime(2, 0)
+	res, err := rt.Launch(LaunchSpec{
+		Nodes: rt.System().Module(machine.Cluster)[:2],
+		Main: func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.SendF64(p.World(), 1, 1, []float64{1})
+				return nil
+			}
+			buf := make([]float64, 1)
+			p.RecvF64(p.World(), AnySource, 1, buf)
+			return nil
+		},
+		KernelWorkers: 2,
+	})
+	if err == nil {
+		t.Fatalf("AnySource on a parallel kernel did not fail: %+v", res)
+	}
+}
+
+// randomGraphMain builds a deterministic random message program from seed:
+// every round each rank elapses a random skew, fires the round's random edge
+// set (nonblocking sends first, then receives in edge order), and every few
+// rounds the whole job couples through an allreduce.
+func randomGraphMain(seed uint64, n, rounds int) MainFunc {
+	type edge struct {
+		src, dst, elems int
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	skews := make([][]int, rounds)
+	edges := make([][]edge, rounds)
+	for r := range edges {
+		skews[r] = make([]int, n)
+		for i := range skews[r] {
+			skews[r][i] = rng.Intn(8)
+		}
+		ne := 1 + rng.Intn(3*n)
+		for e := 0; e < ne; e++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			elems := 1 << rng.Intn(14) // 8 B .. 64 KiB: eager and rendezvous
+			edges[r] = append(edges[r], edge{src, dst, elems})
+		}
+	}
+	return func(p *Proc) error {
+		w := p.World()
+		me := p.Rank()
+		var reqs []*Request
+		for r := 0; r < rounds; r++ {
+			p.Elapse(vclock.Time(skews[r][me]) * vclock.Microsecond)
+			reqs = reqs[:0]
+			for i, e := range edges[r] {
+				if e.src != me {
+					continue
+				}
+				buf := make([]float64, e.elems)
+				for j := range buf {
+					buf[j] = float64(r*1000 + i)
+				}
+				reqs = append(reqs, p.IsendF64Shared(w, e.dst, 1000+i, buf))
+			}
+			for i, e := range edges[r] {
+				if e.dst != me {
+					continue
+				}
+				got, _ := p.RecvF64Shared(w, e.src, 1000+i)
+				if len(got) != e.elems || got[0] != float64(r*1000+i) {
+					return nil // corruption shows up as a result mismatch
+				}
+			}
+			p.Waitall(reqs...)
+			if r%3 == 2 {
+				p.AllreduceScalar(w, float64(me), OpMax)
+			}
+		}
+		p.Barrier(w)
+		return nil
+	}
+}
+
+// FuzzSerialParallelEquivalence is the differential fuzzer of the
+// conservative parallel kernel: any random message graph must produce a
+// bit-identical outcome for any worker count.
+func FuzzSerialParallelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(2))
+	f.Add(uint64(7), uint8(3))
+	f.Add(uint64(20180521), uint8(4))
+	f.Add(uint64(0xdeadbeef), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, workers uint8) {
+		n := 2 + int(seed%7)
+		rounds := 2 + int((seed>>8)%5)
+		kw := 2 + int(workers)%7
+		main := randomGraphMain(seed, n, rounds)
+
+		serial := launchWorkers(t, testRuntime(n, 0), testRuntime(n, 0).System().Module(machine.Cluster)[:n], 1, main)
+		rt := testRuntime(n, 0)
+		par := launchWorkers(t, rt, rt.System().Module(machine.Cluster)[:n], kw, main)
+		if par.Engine.Groups == 0 {
+			t.Fatalf("parallel run fell back: %q", par.Engine.Fallback)
+		}
+		sameOutcome(t, "fuzz", serial, par)
+	})
+}

@@ -41,7 +41,8 @@ type Proc struct {
 	clock  *vclock.Clock
 	task   *engine.Task
 	mbox   *mailbox
-	rank   int // rank in its world communicator
+	rank   int   // rank in its world communicator
+	gid    int32 // kernel group on a parallel launch (0 on serial)
 	world  *Comm
 	parent *Comm // intercommunicator to the spawning job, nil at top level
 	args   any
@@ -64,17 +65,22 @@ type Proc struct {
 	Stats Stats
 }
 
+// newProc builds a rank's state. Its kernel task is created later, by
+// startJob's arming step (task registration must not run mid-round on a
+// parallel kernel).
 func newProc(rt *Runtime, l *launch, node *machine.Node, rank int, args any) *Proc {
 	p := &Proc{
 		rt:       rt,
 		l:        l,
 		node:     node,
 		clock:    vclock.NewClock(0),
-		task:     l.eng.NewRankTask(rank, node.Name()),
 		mbox:     newMailbox(),
 		rank:     rank,
 		args:     args,
 		commRank: map[uint64]int{},
+	}
+	if l.par != nil {
+		p.gid = l.par.assign(node)
 	}
 	p.eagerDone = Request{p: p, isSend: true, done: true}
 	return p
