@@ -86,6 +86,57 @@ func TestBenchUpdateThenCheck(t *testing.T) {
 	}
 }
 
+// TestBenchCheckReportsSkippedSpeedups pins the satellite fix: a speedup
+// gate disarmed by the host's CPU count must be announced, not silently
+// dropped from the report.
+func TestBenchCheckReportsSkippedSpeedups(t *testing.T) {
+	root, in := benchDir(t)
+	fresh, err := benchdata.Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeBaseline := func(minCPUs int) {
+		t.Helper()
+		b := fresh
+		// KernelSlow/KernelFast = 2000000/1000 ns: the 2.0x gate holds
+		// comfortably whenever it is enforced.
+		b.Speedups = []benchdata.Speedup{
+			{Name: "KernelFast", Base: "KernelSlow", MinRatio: 2.0, MinCPUs: minCPUs},
+		}
+		data, err := b.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(root, "BENCH_kernel.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// MinCPUs far beyond any host: the gate is skipped, the run still passes,
+	// and the skip is spelled out with the CPU counts.
+	writeBaseline(1 << 20)
+	var out, errw bytes.Buffer
+	if code := dispatch([]string{"bench", "-check", "-C", root, "-in", in}, &out, &errw); code != 0 {
+		t.Fatalf("check: exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	for _, want := range []string{"skipped", "speedup gate", "CPUs", "1048576 required"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("skip report misses %q:\n%s", want, out.String())
+		}
+	}
+
+	// MinCPUs 1: every host enforces the gate, so no skip line appears.
+	writeBaseline(1)
+	out.Reset()
+	if code := dispatch([]string{"bench", "-check", "-C", root, "-in", in}, &out, &errw); code != 0 {
+		t.Fatalf("enforced check: exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	if strings.Contains(out.String(), "skipped") {
+		t.Fatalf("enforced gate must not report a skip:\n%s", out.String())
+	}
+}
+
 func TestBenchUsageErrors(t *testing.T) {
 	root, in := benchDir(t)
 	var out, errw bytes.Buffer

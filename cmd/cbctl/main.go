@@ -6,19 +6,36 @@
 // Usage:
 //
 //	cbctl list [-v]
-//	cbctl run   [-workers N] [-kworkers K] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
-//	cbctl diff  [-workers N] [-kworkers K] [-v] [-tolerance] [-C dir] -all | <experiment> ...
-//	cbctl bless [-workers N] [-kworkers K] [-v] [-C dir] -all | <experiment> ...
+//	cbctl run   [-workers N] [-kworkers K] [-store DIR] [-v] [-text] [-ndjson] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
+//	cbctl diff  [-workers N] [-kworkers K] [-store DIR] [-v] [-stats] [-tolerance] [-C dir] -all | <experiment> ...
+//	cbctl bless [-workers N] [-kworkers K] [-store DIR] [-v] [-stats] [-C dir] -all | <experiment> ...
 //	cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
+//	cbctl serve [-addr HOST:PORT] [-workers N] [-kworkers K] [-store DIR] [-v]
 //
 // run prints one canonical JSON document per selected experiment; with
 // several experiments the output is a concatenated stream of documents (use
 // a streaming decoder, or select one experiment for a single JSON value).
-// -stats adds the execution-kernel counters and the scenario-cache hit/miss
-// counters on stderr; -cpuprofile/-memprofile capture pprof profiles of the
-// runs for perf work. -kworkers K runs each eligible scenario's event kernel
-// on K cores with the conservative synchronous-window scheme — results are
-// bit-identical to serial for every K, so run, diff and bless all accept it.
+// -ndjson switches to one compact document per line — byte-identical to the
+// serve stream, which the CI serve smoke job relies on. -stats adds the
+// execution-kernel counters, the scenario-cache hit/miss counters and (with
+// -store) the persistent-store counters on stderr; -cpuprofile/-memprofile
+// capture pprof profiles of the runs for perf work. -kworkers K runs each
+// eligible scenario's event kernel on K cores with the conservative
+// synchronous-window scheme — results are bit-identical to serial for every
+// K, so run, diff and bless all accept it.
+//
+// -store DIR layers the persistent, shared result store (internal/runstore)
+// under the in-process scenario cache: successful compute runs are published
+// to DIR under the current cache epoch (exp.CacheEpoch — registry versions
+// plus the model fingerprint) and later processes start warm. Results are
+// byte-identical with the store disabled, cold, warm, or shared between
+// processes; the CI cold/warm diff legs hold that line.
+//
+// serve turns the catalog into a long-running HTTP service: experiment
+// requests stream canonical documents as NDJSON, concurrent requests for
+// overlapping grids dedupe in-flight compute through the scenario cache's
+// singleflight entries, and /statsz exposes the runtime counters. See
+// serve.go for the endpoints.
 //
 // bench maintains BENCH_kernel.json, the checked-in machine-readable
 // baseline of the kernel benchmarks: it parses `go test -bench -benchmem`
@@ -55,6 +72,7 @@ import (
 	"clusterbooster/internal/ioev"
 	"clusterbooster/internal/prof"
 	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/runstore"
 	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
 )
@@ -84,6 +102,8 @@ func dispatch(args []string, out, errw io.Writer) int {
 		return runBless(args, out, errw)
 	case "bench":
 		return runBench(args, out, errw)
+	case "serve":
+		return runServe(args, out, errw)
 	case "help", "-h", "-help", "--help":
 		usage(errw)
 		return 0
@@ -97,20 +117,28 @@ func dispatch(args []string, out, errw io.Writer) int {
 func usage(errw io.Writer) {
 	fmt.Fprintf(errw, `usage:
   cbctl list [-v]
-  cbctl run   [-workers N] [-kworkers K] [-v] [-text] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
-  cbctl diff  [-workers N] [-kworkers K] [-v] [-tolerance] [-C dir] -all | <experiment> ...
-  cbctl bless [-workers N] [-kworkers K] [-v] [-C dir] -all | <experiment> ...
+  cbctl run   [-workers N] [-kworkers K] [-store DIR] [-v] [-text] [-ndjson] [-stats] [-cpuprofile F] [-memprofile F] -all | <experiment> ...
+  cbctl diff  [-workers N] [-kworkers K] [-store DIR] [-v] [-stats] [-tolerance] [-C dir] -all | <experiment> ...
+  cbctl bless [-workers N] [-kworkers K] [-store DIR] [-v] [-stats] [-C dir] -all | <experiment> ...
   cbctl bench [-in FILE] [-check] [-update] [-max-regress F] [-C dir]
+  cbctl serve [-addr HOST:PORT] [-workers N] [-kworkers K] [-store DIR] [-v]
 
 Experiments are the registered paper artifacts and sweeps (see 'cbctl list'
 and EXPERIMENTS.md). diff exits non-zero on golden drift, missing baselines,
-or virtual-time budget violations.
+or virtual-time budget violations. -store DIR shares compute results across
+processes through an on-disk, epoch-scoped store (results are byte-identical
+with the store disabled, cold or warm).
 
 bench parses 'go test -bench -benchmem' output (stdin, or -in FILE) into the
 canonical baseline JSON: -update records it as BENCH_kernel.json at the
 module root, -check compares against the recorded baseline and exits
 non-zero on any benchmark slower than -max-regress (default 0.25 = +25%%)
 or allocating beyond it.
+
+serve runs the catalog as an HTTP service: GET /v1/run?exp=NAME streams
+canonical documents as NDJSON (one compact document per line, the same bytes
+as 'cbctl run -ndjson'), GET /v1/experiments lists the catalog, /statsz the
+runtime counters, /healthz liveness.
 `)
 }
 
@@ -120,11 +148,13 @@ type verbFlags struct {
 	all        *bool
 	workers    *int
 	kworkers   *int
+	store      *string
 	verbose    *bool
+	stats      *bool
 	tolerance  *bool
 	chdir      *string
 	text       *bool
-	stats      *bool
+	ndjson     *bool
 	cpuprofile *string
 	memprofile *string
 }
@@ -151,7 +181,9 @@ func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText boo
 		all:      fs.Bool("all", false, "select every registered experiment"),
 		workers:  fs.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)"),
 		kworkers: fs.Int("kworkers", 0, "kernel workers per eligible launch: conservative parallel execution of each scenario, bit-identical to serial (0/1 = serial)"),
+		store:    fs.String("store", "", "persistent run-store directory shared across processes (\"\" = in-process cache only); results are byte-identical either way"),
 		verbose:  fs.Bool("v", false, "per-scenario progress on stderr"),
+		stats:    fs.Bool("stats", false, "print execution-kernel, scenario-cache and run-store stats to stderr after the runs"),
 	}
 	if withTolerance {
 		v.tolerance = fs.Bool("tolerance", false, "apply per-experiment relative tolerances to numeric drift")
@@ -161,22 +193,41 @@ func newFlags(verb string, errw io.Writer, withTolerance, withRoot, withText boo
 	}
 	if withText {
 		v.text = fs.Bool("text", false, "render paper-style text instead of canonical JSON")
-		v.stats = fs.Bool("stats", false, "print execution-kernel runtime stats to stderr after the runs")
+		v.ndjson = fs.Bool("ndjson", false, "emit one compact JSON document per line (the cbctl serve stream format)")
 		v.cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 		v.memprofile = fs.String("memprofile", "", "write a pprof allocation profile of the runs to this file")
 	}
 	return v
 }
 
+// openStore connects the persistent run store when -store is set; reports
+// whether the verb can proceed.
+func (v verbFlags) openStore(errw io.Writer) bool {
+	if v.store == nil || *v.store == "" {
+		return true
+	}
+	st, err := runstore.Open(*v.store, exp.CacheEpoch())
+	if err != nil {
+		fmt.Fprintf(errw, "cbctl: %v\n", err)
+		return false
+	}
+	sweep.SetDiskRunStore(st)
+	return true
+}
+
 // reportStats prints the aggregated execution-kernel counters, the I/O
-// stack's event counters, the batch-queue counters and the scenario-cache
-// hit/miss counters to stderr when the verb's -stats flag is set.
+// stack's event counters, the batch-queue counters, the scenario-cache
+// hit/miss counters and (when a -store is connected) the persistent-store
+// counters to stderr when the verb's -stats flag is set.
 func (v verbFlags) reportStats(errw io.Writer) {
 	if v.stats != nil && *v.stats {
 		fmt.Fprintf(errw, "cbctl: kernel %s\n", engine.Global())
 		fmt.Fprintf(errw, "cbctl: io %s\n", ioev.Global())
 		fmt.Fprintf(errw, "cbctl: queue %s\n", sched.Global())
 		fmt.Fprintf(errw, "cbctl: %s\n", sweep.RunCacheStats())
+		if st := sweep.DiskRunStore(); st != nil {
+			fmt.Fprintf(errw, "cbctl: run store: %s\n", st.Stats())
+		}
 	}
 }
 
@@ -280,6 +331,13 @@ func runRun(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "cbctl: %v\n", err)
 		return 2
 	}
+	if *v.text && *v.ndjson {
+		fmt.Fprintln(errw, "cbctl: -text and -ndjson are mutually exclusive")
+		return 2
+	}
+	if !v.openStore(errw) {
+		return 2
+	}
 	stopProf, ok := v.startProfiles(errw)
 	if !ok {
 		return 2
@@ -291,6 +349,15 @@ func runRun(args []string, out, errw io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(errw, "cbctl: run %s: %v\n", e.Name, err)
 			return 1
+		}
+		if *v.ndjson {
+			line, err := doc.NDJSON()
+			if err != nil {
+				fmt.Fprintf(errw, "cbctl: %v\n", err)
+				return 1
+			}
+			out.Write(line)
+			continue
 		}
 		if *v.text && e.Render != nil {
 			text, err := e.Render(doc)
@@ -320,6 +387,9 @@ func runDiff(args []string, out, errw io.Writer) int {
 	exps, err := v.selectExps()
 	if err != nil {
 		fmt.Fprintf(errw, "cbctl: %v\n", err)
+		return 2
+	}
+	if !v.openStore(errw) {
 		return 2
 	}
 	opts := v.options(errw)
@@ -362,6 +432,7 @@ func runDiff(args []string, out, errw io.Writer) int {
 			failed++
 		}
 	}
+	v.reportStats(errw)
 	if failed > 0 {
 		fmt.Fprintf(out, "\ncbctl diff: %d of %d experiments failed\n", failed, len(exps))
 		fmt.Fprintln(out, "If the change is intentional, re-record with: cbctl bless -all")
@@ -383,6 +454,9 @@ func runBless(args []string, out, errw io.Writer) int {
 	root := v.moduleRoot()
 	if root == "" {
 		fmt.Fprintln(errw, "cbctl: bless needs the source tree; run from inside the module or pass -C <root>")
+		return 2
+	}
+	if !v.openStore(errw) {
 		return 2
 	}
 	opts := v.options(errw)
@@ -412,6 +486,7 @@ func runBless(args []string, out, errw io.Writer) int {
 	if warned {
 		fmt.Fprintln(errw, "cbctl: note: budget violations persist until the declared bounds are revised in internal/exp")
 	}
+	v.reportStats(errw)
 	return 0
 }
 
@@ -507,7 +582,14 @@ func runBench(args []string, out, errw io.Writer) int {
 			*maxAllocs = *maxRegress
 		}
 		regs := benchdata.Compare(baseline, fresh, *maxRegress, *maxAllocs)
-		regs = append(regs, benchdata.CheckSpeedups(baseline, fresh, runtime.NumCPU())...)
+		cpus := runtime.NumCPU()
+		regs = append(regs, benchdata.CheckSpeedups(baseline, fresh, cpus)...)
+		// An unenforceable speedup gate must be loud: a 2-CPU runner passing
+		// -check is not evidence that the parallel kernel still wins.
+		for _, s := range benchdata.SkippedSpeedups(baseline, cpus) {
+			fmt.Fprintf(out, "skipped %s vs %s speedup gate: %d CPUs < %d required\n",
+				s.Name, s.Base, cpus, s.MinCPUs)
+		}
 		if len(regs) == 0 {
 			fmt.Fprintf(out, "ok   %d benchmarks within %.0f%% ns/op, %.0f%% allocs/op of %s\n",
 				len(baseline.Benchmarks), *maxRegress*100, *maxAllocs*100, benchBaselineFile)

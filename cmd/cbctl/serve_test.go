@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"clusterbooster/internal/exp"
+)
+
+// registerServeFakes adds a failing experiment for the error-line path. The
+// catalog is process-global, so register exactly once (like registerFakes).
+var registerServeFakes = sync.OnceFunc(func() {
+	failing := exp.Experiment{
+		Name: "test/failing", Title: "always-failing fake", Version: 1, Grid: "static", Profile: "n/a",
+	}
+	failing.Run = func(exp.Options) (exp.Document, error) {
+		return exp.Document{}, io.ErrUnexpectedEOF
+	}
+	exp.Register(failing)
+})
+
+// serveGet issues one request against the serve handler without a network
+// listener and returns the recorded response.
+func serveGet(t *testing.T, s *server, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	registerFakes()
+	registerServeFakes()
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec
+}
+
+func TestServeHealthz(t *testing.T) {
+	rec := serveGet(t, &server{}, "/healthz")
+	if rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("healthz: code %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestServeExperimentsCatalog(t *testing.T) {
+	rec := serveGet(t, &server{}, "/v1/experiments")
+	if rec.Code != 200 {
+		t.Fatalf("experiments: code %d", rec.Code)
+	}
+	var rows []struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("experiments: invalid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if r.Version < 1 {
+			t.Fatalf("experiments: %s has version %d", r.Name, r.Version)
+		}
+		names[r.Name] = true
+	}
+	if !names["test/stable"] {
+		t.Fatalf("experiments: catalog %v missing test/stable", names)
+	}
+}
+
+// TestServeRunMatchesCLI is the stream contract: the bytes served for an
+// experiment are identical to `cbctl run -ndjson` for the same experiment.
+func TestServeRunMatchesCLI(t *testing.T) {
+	rec := serveGet(t, &server{}, "/v1/run?exp=test/stable")
+	if rec.Code != 200 {
+		t.Fatalf("run: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("run: Content-Type %q", ct)
+	}
+	code, stdout, stderr := cbctl(t, "run", "-ndjson", "test/stable")
+	if code != 0 {
+		t.Fatalf("cbctl run -ndjson failed: %d\n%s", code, stderr)
+	}
+	if rec.Body.String() != stdout {
+		t.Fatalf("serve stream != cli stream:\nserve: %q\ncli:   %q", rec.Body.String(), stdout)
+	}
+}
+
+func TestServeRunMultipleAndErrorLine(t *testing.T) {
+	s := &server{}
+	rec := serveGet(t, s, "/v1/run?exp=test/failing&exp=test/stable")
+	if rec.Code != 200 {
+		t.Fatalf("run: code %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("run: got %d lines, want 2:\n%s", len(lines), rec.Body.String())
+	}
+	var errLine struct {
+		Experiment string `json:"experiment"`
+		Error      string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &errLine); err != nil {
+		t.Fatalf("run: error line is not JSON: %v", err)
+	}
+	if errLine.Experiment != "test/failing" || errLine.Error == "" {
+		t.Fatalf("run: error line %+v", errLine)
+	}
+	// The stream continues past the failure.
+	var doc exp.Document
+	if err := json.Unmarshal([]byte(lines[1]), &doc); err != nil || doc.Experiment != "test/stable" {
+		t.Fatalf("run: second line %q (err %v)", lines[1], err)
+	}
+	if s.docs.Load() != 1 || s.runErrors.Load() != 1 {
+		t.Fatalf("run: counters docs=%d run_errors=%d, want 1 and 1", s.docs.Load(), s.runErrors.Load())
+	}
+}
+
+func TestServeRunBadRequests(t *testing.T) {
+	for _, target := range []string{
+		"/v1/run",                       // nothing selected
+		"/v1/run?exp=no/such/exp",       // unknown name
+		"/v1/run?all=1&exp=test/stable", // mutually exclusive
+	} {
+		if rec := serveGet(t, &server{}, target); rec.Code != 400 {
+			t.Errorf("%s: code %d, want 400", target, rec.Code)
+		}
+	}
+}
+
+func TestServeStatsz(t *testing.T) {
+	s := &server{}
+	serveGet(t, s, "/healthz")
+	rec := serveGet(t, s, "/statsz")
+	if rec.Code != 200 {
+		t.Fatalf("statsz: code %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"serve: requests=", "kernel ", "scenario cache:", "run store:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statsz: missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -26,9 +26,12 @@
 //	           concatenated documents, one per target, not one JSON value
 //	-csv       emit sweep results as CSV instead of text
 //	-v         print per-scenario progress to stderr
+//	-store DIR layer the persistent run store (internal/runstore) under the
+//	           scenario cache: successful compute runs are published to DIR
+//	           and any process sharing DIR (deepsim or cbctl) reuses them
 //	-stats     print execution-kernel runtime stats (events processed,
-//	           events/sec wall-clock, peak parked ranks) and scenario-cache
-//	           hit/miss counters to stderr
+//	           events/sec wall-clock, peak parked ranks), scenario-cache
+//	           hit/miss counters and run-store counters to stderr
 //	-cpuprofile F  write a pprof CPU profile of the run to F
 //	-memprofile F  write a pprof allocation profile of the run to F
 //
@@ -69,6 +72,7 @@ import (
 	"clusterbooster/internal/prof"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/resilience"
+	"clusterbooster/internal/runstore"
 	"clusterbooster/internal/sched"
 	"clusterbooster/internal/sweep"
 	"clusterbooster/internal/vclock"
@@ -95,6 +99,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
 	asCSV := flag.Bool("csv", false, "emit sweep results as CSV instead of text")
 	verbose := flag.Bool("v", false, "per-scenario progress on stderr")
+	storeDir := flag.String("store", "", "persistent run-store directory shared across processes (\"\" = in-process cache only)")
 	stats := flag.Bool("stats", false, "print execution-kernel runtime stats to stderr after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
@@ -110,6 +115,15 @@ func main() {
 	// of any scenario's configuration (results are bit-identical for every
 	// value, so it must never enter a cache key or a golden).
 	psmpi.SetDefaultKernelWorkers(*kworkers)
+
+	if *storeDir != "" {
+		st, err := runstore.Open(*storeDir, exp.CacheEpoch())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+			os.Exit(2)
+		}
+		sweep.SetDiskRunStore(st)
+	}
 
 	// os.Exit skips defers, so every exit path below goes through exit() to
 	// flush the -cpuprofile/-memprofile capture first.
@@ -224,6 +238,9 @@ func reportStats(enabled bool) {
 	fmt.Fprintf(os.Stderr, "deepsim: io %s\n", ioev.Global())
 	fmt.Fprintf(os.Stderr, "deepsim: queue %s\n", sched.Global())
 	fmt.Fprintf(os.Stderr, "deepsim: %s\n", sweep.RunCacheStats())
+	if st := sweep.DiskRunStore(); st != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: run store: %s\n", st.Stats())
+	}
 }
 
 // artifactNames lists the registry's paper artifacts (the targets of this

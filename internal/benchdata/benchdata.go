@@ -206,6 +206,20 @@ func Compare(baseline, fresh Baseline, maxNs, maxAllocs float64) []Regression {
 // eligible host is a failure, not a skip — otherwise deleting a benchmark
 // would silently disarm its gate. Old carries the required ratio and New
 // the measured one.
+// SkippedSpeedups returns the baseline's speedup pairs that CheckSpeedups
+// would NOT enforce on a host with the given logical CPU count. Callers
+// surface these so an under-provisioned host reports the disarmed gates
+// explicitly instead of passing in silence.
+func SkippedSpeedups(baseline Baseline, cpus int) []Speedup {
+	var out []Speedup
+	for _, s := range baseline.Speedups {
+		if cpus < s.MinCPUs {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func CheckSpeedups(baseline, fresh Baseline, cpus int) []Regression {
 	freshBy := map[string]Benchmark{}
 	for _, b := range fresh.Benchmarks {

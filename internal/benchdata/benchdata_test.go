@@ -132,6 +132,30 @@ func TestCheckSpeedups(t *testing.T) {
 	}
 }
 
+func TestSkippedSpeedups(t *testing.T) {
+	base := Baseline{Schema: Schema, Speedups: []Speedup{
+		{Name: "Par2", Base: "Serial", MinRatio: 1.5, MinCPUs: 2},
+		{Name: "Par4", Base: "Serial", MinRatio: 2.0, MinCPUs: 4},
+	}}
+	if got := SkippedSpeedups(base, 8); len(got) != 0 {
+		t.Fatalf("8 CPUs: skipped %v, want none", got)
+	}
+	if got := SkippedSpeedups(base, 2); len(got) != 1 || got[0].Name != "Par4" {
+		t.Fatalf("2 CPUs: skipped %v, want just Par4", got)
+	}
+	if got := SkippedSpeedups(base, 1); len(got) != 2 {
+		t.Fatalf("1 CPU: skipped %v, want both pairs", got)
+	}
+	// Skipped and enforced partition the speedup section: what one drops the
+	// other reports, at every CPU count.
+	for _, cpus := range []int{1, 2, 4, 8} {
+		fresh := Baseline{Schema: Schema} // both legs missing
+		if n := len(SkippedSpeedups(base, cpus)) + len(CheckSpeedups(base, fresh, cpus)); n != len(base.Speedups) {
+			t.Errorf("cpus=%d: skipped+checked = %d, want %d", cpus, n, len(base.Speedups))
+		}
+	}
+}
+
 func TestSpeedupsRoundTrip(t *testing.T) {
 	b := Baseline{Schema: Schema,
 		Benchmarks: []Benchmark{{Name: "A", NsPerOp: 1}},

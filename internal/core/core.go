@@ -25,6 +25,17 @@ import (
 	"clusterbooster/internal/xpic"
 )
 
+// ModelFingerprint names the current generation of the simulation model and
+// execution kernel for the persistent run store's cache epoch (see
+// exp.CacheEpoch and internal/runstore). Bump it with any change, anywhere
+// in the simulation stack, that can alter a report for an unchanged
+// configuration — the working test is "would this re-bless a golden?". An
+// unbumped fingerprint after such a change would let a stale store satisfy
+// post-change runs; the golden CI gate (cold/warm diff legs) backstops the
+// discipline, since a stale warm hit diverges from the freshly blessed
+// baseline.
+const ModelFingerprint = "cluster-booster-model-1"
+
 // Options tunes system construction. The zero value selects the DEEP-ER
 // prototype parameters everywhere.
 type Options struct {

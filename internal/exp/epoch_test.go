@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"clusterbooster/internal/core"
+	"clusterbooster/internal/runstore"
+)
+
+// TestCacheEpoch pins the epoch's derivation contract: a short stable
+// fingerprint over the model generation plus every registered experiment's
+// name@version — so bumping the model fingerprint or any catalog version
+// rolls the epoch and orphans the persistent store.
+func TestCacheEpoch(t *testing.T) {
+	e := CacheEpoch()
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(e) {
+		t.Fatalf("epoch %q is not 16 hex chars", e)
+	}
+	if e != CacheEpoch() {
+		t.Fatal("epoch must be deterministic within a process")
+	}
+
+	// Re-derive with the documented inputs: the epoch must cover exactly the
+	// model fingerprint and the catalog versions, nothing else.
+	parts := []string{"model=" + core.ModelFingerprint}
+	for _, x := range All() {
+		parts = append(parts, fmt.Sprintf("%s@%d", x.Name, x.Version))
+	}
+	if want := runstore.Epoch(parts...); e != want {
+		t.Fatalf("epoch %q does not match its documented derivation %q", e, want)
+	}
+
+	// A changed model fingerprint (or any version bump, same mechanism) must
+	// produce a different epoch.
+	parts[0] = "model=" + core.ModelFingerprint + "-next"
+	if runstore.Epoch(parts...) == e {
+		t.Fatal("model fingerprint change must roll the epoch")
+	}
+}

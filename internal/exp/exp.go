@@ -74,6 +74,18 @@ func (d Document) Canonical() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// NDJSON returns the document as one compact JSON line (newline-terminated)
+// — the `cbctl serve` stream format, also emitted by `cbctl run -ndjson` so
+// the two paths are byte-comparable. Like Canonical, the bytes are
+// deterministic for a deterministic experiment.
+func (d Document) NDJSON() ([]byte, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("exp: ndjson %s: %w", d.Experiment, err)
+	}
+	return append(b, '\n'), nil
+}
+
 // ParseDocument decodes a canonical document.
 func ParseDocument(b []byte) (Document, error) {
 	var d Document
