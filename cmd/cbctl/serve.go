@@ -98,6 +98,7 @@ type server struct {
 	requests  atomic.Uint64 // HTTP requests accepted, all endpoints
 	docs      atomic.Uint64 // documents streamed successfully
 	runErrors atomic.Uint64 // experiment runs that failed
+	canceled  atomic.Uint64 // run requests abandoned by the client mid-stream
 }
 
 // handler routes the service's endpoints.
@@ -121,8 +122,8 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "serve: requests=%d docs=%d run_errors=%d\n",
-		s.requests.Load(), s.docs.Load(), s.runErrors.Load())
+	fmt.Fprintf(w, "serve: requests=%d docs=%d run_errors=%d canceled=%d\n",
+		s.requests.Load(), s.docs.Load(), s.runErrors.Load(), s.canceled.Load())
 	fmt.Fprintf(w, "kernel %s\n", engine.Global())
 	fmt.Fprintf(w, "io %s\n", ioev.Global())
 	fmt.Fprintf(w, "queue %s\n", sched.Global())
@@ -179,10 +180,27 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	opts := exp.Options{Workers: s.workers, Observer: s.observer}
+	// The request context cancels the in-flight run: a disconnected client
+	// stops the stream between experiments, and inside one the sweep engine
+	// starts no further scenarios (already-running simulations finish — they
+	// are synchronous and never torn down mid-run, and their results stay
+	// cached for the next request).
+	ctx := r.Context()
+	opts := exp.Options{Workers: s.workers, Observer: s.observer, Context: ctx}
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			s.canceled.Add(1)
+			return
+		}
 		line, err := runNDJSONLine(e, opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation surfaces as a run error; count it as a
+				// canceled request, not a failed experiment, and stop — the
+				// client is gone.
+				s.canceled.Add(1)
+				return
+			}
 			s.runErrors.Add(1)
 			line, _ = json.Marshal(struct {
 				Experiment string `json:"experiment"`

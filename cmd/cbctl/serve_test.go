@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -11,8 +13,9 @@ import (
 	"clusterbooster/internal/exp"
 )
 
-// registerServeFakes adds a failing experiment for the error-line path. The
-// catalog is process-global, so register exactly once (like registerFakes).
+// registerServeFakes adds a failing experiment for the error-line path and
+// a cancelling one for the client-disconnect path. The catalog is
+// process-global, so register exactly once (like registerFakes).
 var registerServeFakes = sync.OnceFunc(func() {
 	failing := exp.Experiment{
 		Name: "test/failing", Title: "always-failing fake", Version: 1, Grid: "static", Profile: "n/a",
@@ -21,7 +24,24 @@ var registerServeFakes = sync.OnceFunc(func() {
 		return exp.Document{}, io.ErrUnexpectedEOF
 	}
 	exp.Register(failing)
+
+	cancelling := exp.Experiment{
+		Name: "test/cancelling", Title: "client-vanishes fake", Version: 1, Grid: "static", Profile: "n/a",
+	}
+	cancelling.Run = func(o exp.Options) (exp.Document, error) {
+		if o.Context == nil {
+			return exp.Document{}, errors.New("request context not plumbed into exp.Options")
+		}
+		if serveCancelHook != nil {
+			serveCancelHook() // the client hangs up while this run is in flight
+		}
+		return fakeDoc(cancelling, 1.0), nil
+	}
+	exp.Register(cancelling)
 })
+
+// serveCancelHook, when set, is invoked from test/cancelling's Run.
+var serveCancelHook func()
 
 // serveGet issues one request against the serve handler without a network
 // listener and returns the recorded response.
@@ -111,6 +131,54 @@ func TestServeRunMultipleAndErrorLine(t *testing.T) {
 	}
 	if s.docs.Load() != 1 || s.runErrors.Load() != 1 {
 		t.Fatalf("run: counters docs=%d run_errors=%d, want 1 and 1", s.docs.Load(), s.runErrors.Load())
+	}
+}
+
+// TestServeRunClientGoneBeforeStart: a request whose context is already
+// dead streams nothing and counts as canceled, not as a run error.
+func TestServeRunClientGoneBeforeStart(t *testing.T) {
+	registerFakes()
+	registerServeFakes()
+	s := &server{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/run?exp=test/stable", nil).WithContext(ctx)
+	s.handler().ServeHTTP(rec, req)
+	if got := rec.Body.String(); got != "" {
+		t.Fatalf("dead request streamed %q", got)
+	}
+	if s.canceled.Load() != 1 || s.docs.Load() != 0 || s.runErrors.Load() != 0 {
+		t.Fatalf("counters canceled=%d docs=%d run_errors=%d, want 1/0/0",
+			s.canceled.Load(), s.docs.Load(), s.runErrors.Load())
+	}
+}
+
+// TestServeRunClientGoneMidStream: the client disconnects while the first
+// experiment runs; its document still streams (it completed), but the next
+// selected experiment never starts.
+func TestServeRunClientGoneMidStream(t *testing.T) {
+	registerFakes()
+	registerServeFakes()
+	s := &server{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveCancelHook = cancel
+	defer func() { serveCancelHook = nil }()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/run?exp=test/cancelling&exp=test/stable", nil).WithContext(ctx)
+	s.handler().ServeHTTP(rec, req)
+	lines := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d stream lines, want 1 (the in-flight experiment only):\n%s",
+			len(lines), rec.Body.String())
+	}
+	var doc exp.Document
+	if err := json.Unmarshal([]byte(lines[0]), &doc); err != nil || doc.Experiment != "test/cancelling" {
+		t.Fatalf("first line %q (err %v)", lines[0], err)
+	}
+	if s.canceled.Load() != 1 || s.docs.Load() != 1 {
+		t.Fatalf("counters canceled=%d docs=%d, want 1/1", s.canceled.Load(), s.docs.Load())
 	}
 }
 

@@ -9,6 +9,7 @@
 //	deepsim [flags] table1|table2|fig3|fig7|fig8|fig-resilience|all
 //	deepsim -sweep [flags]
 //	deepsim -resilience [flags]
+//	deepsim -facility [flags]
 //
 // Flags:
 //
@@ -52,6 +53,26 @@
 //	-seed S            failure-sequence seed (default 1)
 //	-restart-overhead S  fixed relaunch cost per restart in virtual seconds
 //
+// Facility flags (batch system under load on a failing machine; use with
+// -facility; -mtbf and -seed are shared with -resilience but here apply
+// per *module*, not per node):
+//
+//	-facility          run one synthetic arrival stream through the batch
+//	                   queue and report the facility outcome
+//	-policy P          batch discipline: fcfs, backfill or malleable
+//	                   (default backfill)
+//	-jobs N            arrival-stream length (default 600)
+//	-load F            offered load on the bottleneck module (default 1.4:
+//	                   sustained overload, the queue grows)
+//	-mtbf S            per-module mean time between failures in virtual
+//	                   seconds (0 = a failure-free machine)
+//	-mttr S            per-module mean time to repair (default 1.5)
+//	-retries N         kill/requeue budget per job before the facility
+//	                   abandons it (default 16)
+//	-ckpt-every S      facility checkpoint interval in virtual seconds
+//	                   (0 = cold restarts; cost/restore follow the
+//	                   fig-facility-resilience policy: 10ms/20ms)
+//
 // The figure targets print the measured series next to the paper's reference
 // values; EXPERIMENTS.md records a full run and documents the registry. The
 // output is deterministic: the same target always produces byte-identical
@@ -69,6 +90,7 @@ import (
 	"clusterbooster/internal/engine"
 	"clusterbooster/internal/exp"
 	"clusterbooster/internal/ioev"
+	"clusterbooster/internal/machine"
 	"clusterbooster/internal/prof"
 	"clusterbooster/internal/psmpi"
 	"clusterbooster/internal/resilience"
@@ -86,7 +108,8 @@ func main() {
 	doSweep := flag.Bool("sweep", false, "run the paper's evaluation grid through the sweep engine")
 	withSCR := flag.Bool("scr", false, "add the SCR checkpoint-level axis to the sweep")
 	doResilience := flag.Bool("resilience", false, "run a checkpoint/restart scenario under failure injection")
-	mtbf := flag.Float64("mtbf", 0, "per-node MTBF in virtual seconds (0 = no failures)")
+	doFacility := flag.Bool("facility", false, "run a synthetic arrival stream through the batch queue on a (possibly failing) machine")
+	mtbf := flag.Float64("mtbf", 0, "MTBF in virtual seconds: per node with -resilience, per module with -facility (0 = no failures)")
 	maxFailures := flag.Int("failures", 1, "stop injecting after N failures")
 	ckptEvery := flag.Int("ckpt", 4, "checkpoint every N completed steps (0 = never)")
 	level := flag.String("level", "buddy", "surviving checkpoint level cadence: local, buddy or global")
@@ -94,6 +117,12 @@ func main() {
 	nodes := flag.Int("nodes", 2, "ranks per solver")
 	seed := flag.Int64("seed", 1, "failure-sequence seed")
 	restartOverhead := flag.Float64("restart-overhead", 0.002, "fixed relaunch cost per restart, virtual seconds")
+	policy := flag.String("policy", "backfill", "facility batch discipline: fcfs, backfill or malleable")
+	jobs := flag.Int("jobs", 600, "facility arrival-stream length")
+	load := flag.Float64("load", 1.4, "facility offered load on the bottleneck module")
+	mttr := flag.Float64("mttr", 1.5, "per-module mean time to repair, virtual seconds")
+	retries := flag.Int("retries", 16, "facility kill/requeue budget per job before abandonment")
+	ckptEverySec := flag.Float64("ckpt-every", 0, "facility checkpoint interval, virtual seconds (0 = cold restarts)")
 	workers := flag.Int("workers", 0, "sweep worker pool bound (0 = GOMAXPROCS)")
 	kworkers := flag.Int("kworkers", 0, "kernel workers per eligible launch: conservative parallel execution of each scenario, bit-identical to serial (0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit canonical JSON instead of text")
@@ -107,6 +136,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: deepsim [flags] %s|all\n", strings.Join(artifactNames(), "|"))
 		fmt.Fprintf(os.Stderr, "       deepsim -sweep [flags]\n")
 		fmt.Fprintf(os.Stderr, "       deepsim -resilience [-mtbf S] [-failures N] [-ckpt N] [-level L] [-mode M] [flags]\n")
+		fmt.Fprintf(os.Stderr, "       deepsim -facility [-policy P] [-jobs N] [-load F] [-mtbf S] [-mttr S] [-retries N] [-ckpt-every S] [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -157,11 +187,24 @@ func main() {
 	}
 
 	if *doSweep {
-		if flag.NArg() != 0 || *doResilience {
+		if flag.NArg() != 0 || *doResilience || *doFacility {
 			flag.Usage()
 			exit(2)
 		}
 		code := runSweep(cfg, *withSCR, opts, *asJSON, *asCSV)
+		reportStats(*stats)
+		exit(code)
+	}
+
+	if *doFacility {
+		if flag.NArg() != 0 || *doResilience {
+			flag.Usage()
+			exit(2)
+		}
+		code := runFacilityMode(facilityFlags{
+			policy: *policy, jobs: *jobs, load: *load, seed: *seed,
+			mtbf: *mtbf, mttr: *mttr, retries: *retries, ckptEvery: *ckptEverySec,
+		}, *asJSON)
 		reportStats(*stats)
 		exit(code)
 	}
@@ -327,6 +370,78 @@ func runResilience(f resilienceFlags, asJSON bool) int {
 		fmt.Printf("  restart %d: %s failed at %v — %s (lost %v)\n",
 			i+1, r.FailedNode, r.At, kind, r.LostWork)
 	}
+	return 0
+}
+
+// facilityFlags bundles the -facility invocation.
+type facilityFlags struct {
+	policy    string
+	jobs      int
+	load      float64
+	seed      int64
+	mtbf      float64
+	mttr      float64
+	retries   int
+	ckptEvery float64
+}
+
+// runFacilityMode schedules one synthetic arrival stream through the batch
+// queue — on a failing machine when -mtbf is set — and reports the facility
+// outcome next to the analytic steady-state availability MTBF/(MTBF+MTTR).
+func runFacilityMode(f facilityFlags, asJSON bool) int {
+	params := sched.FacilityParams{
+		Policy: sched.FacilityPolicy(f.policy),
+		Jobs:   f.jobs,
+		Load:   f.load,
+		Seed:   f.seed,
+	}
+	if f.mtbf > 0 {
+		faults := &sched.FacilityFaults{
+			Cluster:    machine.FailureProfile{MTBF: vclock.Time(f.mtbf), MTTR: vclock.Time(f.mttr)},
+			Booster:    machine.FailureProfile{MTBF: vclock.Time(f.mtbf), MTTR: vclock.Time(f.mttr)},
+			Seed:       f.seed,
+			MaxRetries: f.retries,
+		}
+		if f.ckptEvery > 0 {
+			// The fig-facility-resilience checkpoint policy at the chosen
+			// interval: write cost 10ms, restore 20ms.
+			faults.Rewind = resilience.FacilityCheckpoint{
+				Every:   vclock.Time(f.ckptEvery),
+				Cost:    10 * vclock.Millisecond,
+				Restore: 20 * vclock.Millisecond,
+			}
+		}
+		params.Faults = faults
+	}
+	out, err := sched.RunFacility(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepsim: facility: %v\n", err)
+		return 2
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "deepsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("facility %s: %d jobs at load %.2f (seed %d)\n", f.policy, f.jobs, f.load, f.seed)
+	fmt.Printf("  completed=%d abandoned=%d makespan=%v mean_wait=%v slowdown mean=%.2f p95=%.2f\n",
+		out.Jobs, out.Abandoned, out.Makespan, out.MeanWait, out.MeanSlowdown, out.P95Slowdown)
+	fmt.Printf("  util cluster=%.3f booster=%.3f backfilled=%d shrunk=%d peak_queue=%d\n",
+		out.UtilCluster, out.UtilBooster, out.Backfilled, out.Shrunk, out.PeakQueue)
+	if params.Faults == nil {
+		return 0
+	}
+	analytic := params.Faults.Cluster.Availability()
+	fmt.Printf("  failures=%d repairs=%d requeues=%d lost_node_s=%.3f goodput=%.3f horizon=%v\n",
+		out.Failures, out.Repairs, out.Requeues, out.LostNodeSec, out.Goodput, out.Horizon)
+	fmt.Printf("  availability cluster=%.4f booster=%.4f (analytic MTBF/(MTBF+MTTR)=%.4f)\n",
+		out.AvailCluster, out.AvailBooster, analytic)
+	fmt.Printf("  saturated window: util cluster=%.3f booster=%.3f avail cluster=%.4f booster=%.4f\n",
+		out.SatUtilCluster, out.SatUtilBooster, out.SatAvailCluster, out.SatAvailBooster)
 	return 0
 }
 

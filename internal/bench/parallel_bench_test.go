@@ -12,8 +12,11 @@ import (
 	"testing"
 
 	"clusterbooster/internal/core"
+	"clusterbooster/internal/machine"
 	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sched"
+	"clusterbooster/internal/vclock"
 	"clusterbooster/internal/xpic"
 )
 
@@ -80,6 +83,37 @@ func BenchmarkKernelFig8Scale4096(b *testing.B) {
 	cfg := benchScale4096Config()
 	b.Run("serial", func(b *testing.B) { benchScalePoint(b, 4096, 1, cfg) })
 	b.Run("par4", func(b *testing.B) { benchScalePoint(b, 4096, 4, cfg) })
+}
+
+// BenchmarkKernelFacilityFailures is BenchmarkKernelFacility on a failing
+// machine: the same 1000-job backfill stream under the harsh mtbf12-style
+// per-module failure/repair processes with checkpointed rewinds — the fault
+// path's kill/requeue/repair machinery on top of the scheduler hot path.
+func BenchmarkKernelFacilityFailures(b *testing.B) {
+	p := sched.FacilityParams{
+		Policy: sched.FacilityBackfill,
+		Jobs:   1000,
+		Load:   1.4,
+		Seed:   20180521 + 140,
+		Faults: &sched.FacilityFaults{
+			Cluster:    machine.FailureProfile{MTBF: 20, MTTR: 1.5},
+			Booster:    machine.FailureProfile{MTBF: 12, MTTR: 1.5},
+			Seed:       20180711,
+			MaxRetries: 16,
+			Rewind: resilience.FacilityCheckpoint{
+				Every:   250 * vclock.Millisecond,
+				Cost:    10 * vclock.Millisecond,
+				Restore: 20 * vclock.Millisecond,
+			},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.RunFacility(p); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkKernelFacility feeds the overload-regime 1000-job backfill

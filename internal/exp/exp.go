@@ -18,6 +18,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -42,6 +43,11 @@ type Options struct {
 	// Experiments that do not run xPic ignore it. Golden runs (diff, bless)
 	// always leave it nil so baselines stay pinned to the registry profile.
 	Workload *xpic.Config
+	// Context, if non-nil, cancels the run: no further scenario starts once
+	// it is done and the experiment reports the cancellation as a run error
+	// (canceled scenarios fail, and FirstError surfaces them). Used by
+	// `cbctl serve` to abort abandoned requests.
+	Context context.Context
 }
 
 // Document is the canonical outcome of one experiment run: a stable,

@@ -9,11 +9,13 @@ import (
 // paperOrder is the catalog contract: the five paper artifacts in reading
 // order, the past-prototype scaling continuation, the resilience family
 // (§III-D live on the kernel), the I/O strategy family (§III-C live on the
-// kernel), the facility family (§II-A's batch system live on the kernel),
-// then the standing sweeps. cbctl list and deepsim all follow it.
+// kernel), the facility family (§II-A's batch system live on the kernel)
+// with its failing-machine extension, then the standing sweeps. cbctl list
+// and deepsim all follow it.
 var paperOrder = []string{
 	"table1", "table2", "fig3", "fig7", "fig8", "fig8-scale", "fig8-scale4096",
 	"fig8-scale16384", "fig-resilience", "fig-io", "fig-facility", "facility-10k",
+	"fig-facility-resilience",
 	"sweep/fig3", "sweep/fig7", "sweep/fig8", "sweep/paper", "sweep/xpic-weak",
 }
 

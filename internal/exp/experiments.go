@@ -69,7 +69,7 @@ func weakProfile(n int) xpic.Config {
 
 // sweepOpts maps experiment options onto the sweep engine's.
 func sweepOpts(o Options) sweep.Options {
-	return sweep.Options{Workers: o.Workers, Observer: o.Observer}
+	return sweep.Options{Workers: o.Workers, Observer: o.Observer, Context: o.Context}
 }
 
 // profileLabel names a workload: a config that matches a pinned profile
@@ -177,6 +177,7 @@ func init() {
 	registerFigIO()
 	registerFigFacility()
 	registerFacility10k()
+	registerFigFacilityResilience()
 	registerSweepFig3()
 	registerSweepFig7()
 	registerSweepFig8()

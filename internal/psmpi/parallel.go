@@ -68,6 +68,9 @@ const (
 	// joins their errors in completion order; parallel teardown would make
 	// that order (and the exact teardown interleaving) host-dependent.
 	FallbackFailures = "failure injection"
+	// FallbackRevocations: allocation revocations tear the tree down
+	// exactly like injected failures, with the same ordering argument.
+	FallbackRevocations = "allocation revocation"
 )
 
 // parState is the launch's group partition: node ID -> group index.
@@ -110,6 +113,10 @@ func (rt *Runtime) setupParallel(l *launch, spec LaunchSpec) {
 	}
 	if spec.Failures != nil {
 		l.eng.NoteSerialFallback(FallbackFailures)
+		return
+	}
+	if len(spec.Revocations) > 0 {
+		l.eng.NoteSerialFallback(FallbackRevocations)
 		return
 	}
 	// Unique nodes in first-appearance (rank) order, chunked contiguously:

@@ -279,6 +279,12 @@ type LaunchSpec struct {
 	// error (recover it with FailureOf). The injector keeps its RNG state
 	// across launches, so a restart loop sees a continuing failure sequence.
 	Failures *FailureInjector
+	// Revocations, if set, schedules resource-manager allocation
+	// revocations into this launch: at each Revocation.At, if any of its
+	// nodes host ranks of the job tree, the whole job is torn down with a
+	// recoverable *NodeFailure (see FailureOf) — the psmpi face of the
+	// batch system's facility-level drain/requeue path.
+	Revocations []Revocation
 	// Placement, if set, decides spawn placement for this job tree only,
 	// overriding the runtime-global service. The batch system passes the
 	// job's live allocation here (sched.Allocation implements Placement), so
@@ -333,6 +339,7 @@ func (rt *Runtime) Launch(spec LaunchSpec) (Result, error) {
 	world := rt.newWorld(l, spec.Nodes, spec.Args, spec.StartTime, nil)
 	rt.startJob(l, world, spec.Main, spec.StartTime, nil)
 	spec.Failures.arm(l, spec.StartTime)
+	l.armRevocations(spec.Revocations)
 	l.eng.Run()
 	l.wg.Wait()
 

@@ -54,6 +54,11 @@ type FacilityParams struct {
 	// four times the 2:1 prototype of Table I).
 	ClusterNodes int
 	BoosterNodes int
+	// Faults, when non-nil and enabled, runs the stream on a failing
+	// machine: seeded per-module failure/repair processes drain and refill
+	// the pools, killed jobs are rewound per Faults.Rewind and requeued.
+	// Nil keeps the failure-free path byte-identical.
+	Faults *FacilityFaults
 }
 
 // FacilityOutcome aggregates one facility run.
@@ -77,6 +82,39 @@ type FacilityOutcome struct {
 	Shrunk     int
 	PeakQueue  int
 	Events     uint64
+
+	// Fault-mode results (zero on failure-free runs). Jobs counts completed
+	// jobs only; Abandoned jobs exhausted their retry budget and never
+	// finished.
+	Failures  int
+	Repairs   int
+	Requeues  int
+	Abandoned int
+	// AvailCluster and AvailBooster are the simulated availabilities:
+	// 1 - down-node-time / (nodes * horizon), where the horizon spans every
+	// facility event. In steady state they must track the analytic
+	// MTBF/(MTBF+MTTR) of the module's FailureProfile.
+	AvailCluster float64
+	AvailBooster float64
+	// LostNodeSec is virtual node-time spent on work that did not survive:
+	// partial progress past the last completed checkpoint of every kill,
+	// plus the salvaged progress of jobs later abandoned.
+	LostNodeSec float64
+	// Goodput is completed useful work over total machine capacity across
+	// the horizon: sum over completed jobs of requested-nodes x nominal
+	// duration, divided by (total nodes x horizon).
+	Goodput float64
+	// Horizon is the full facility span including trailing repair, requeue
+	// and abandonment activity (>= Makespan).
+	Horizon vclock.Time
+	// SatUtil* and SatAvail* are utilization and availability cut at the
+	// last job arrival — the saturated window, before the stream drains.
+	// There, an overloaded pool's utilization must track its availability:
+	// this is the pair the steady-state cross-check budgets compare.
+	SatUtilCluster  float64
+	SatUtilBooster  float64
+	SatAvailCluster float64
+	SatAvailBooster float64
 }
 
 // bsldTau is the bounded-slowdown runtime floor. The literature uses 10s of
@@ -192,7 +230,7 @@ func RunFacility(p FacilityParams) (FacilityOutcome, error) {
 	}
 
 	m := NewManager(machine.New(p.ClusterNodes, p.BoosterNodes))
-	sched, cnt, err := m.simulateQueue(facilityJobs(p), policy)
+	sched, cnt, faults, err := m.simulateQueueFaults(facilityJobs(p), policy, p.Faults)
 	if err != nil {
 		return FacilityOutcome{}, err
 	}
@@ -207,6 +245,32 @@ func RunFacility(p FacilityParams) (FacilityOutcome, error) {
 		Shrunk:      cnt.shrunk,
 		PeakQueue:   cnt.peakQueue,
 		Events:      cnt.events,
+	}
+	if faults != nil {
+		out.Failures = cnt.failures
+		out.Repairs = cnt.repairs
+		out.Requeues = cnt.requeues
+		out.Abandoned = cnt.abandoned
+		out.LostNodeSec = cnt.lostNodeSec
+		out.AvailCluster = faults.availability(machine.Cluster)
+		out.AvailBooster = faults.availability(machine.Booster)
+		out.SatUtilCluster = faults.satUtilisation(machine.Cluster)
+		out.SatUtilBooster = faults.satUtilisation(machine.Booster)
+		out.SatAvailCluster = faults.satAvailability(machine.Cluster)
+		out.SatAvailBooster = faults.satAvailability(machine.Booster)
+		out.Horizon = faults.horizon
+		// With kills in play, schedule-derived utilisation (final attempts
+		// only) undercounts occupancy; the faultRun integrates the real
+		// thing, and it is what must track availability under saturation.
+		out.UtilCluster = faults.utilisation(machine.Cluster)
+		out.UtilBooster = faults.utilisation(machine.Booster)
+		useful := 0.0
+		for _, pl := range sched.Placed {
+			useful += float64(pl.Job.Cluster+pl.Job.Booster) * pl.Job.Duration.Seconds()
+		}
+		if cap := float64(p.ClusterNodes+p.BoosterNodes) * faults.horizon.Seconds(); cap > 0 {
+			out.Goodput = useful / cap
+		}
 	}
 	slow := make([]float64, 0, len(sched.Placed))
 	for _, pl := range sched.Placed {

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/vclock"
+)
+
+// FuzzFacilityFaults drives random failure/repair interleavings over a
+// small machine against the independent capacity-accounting oracle
+// (capacityOracle in failure_test.go): at every capacity-changing event,
+// free + allocated-to-running + failed must equal the module's total — a
+// requeued job can never hold nodes twice, a repair can never mint a node.
+// The input bytes pick the machine shape, the queue policy, both modules'
+// MTBF/MTTR, the retry/checkpoint policy and the job stream; every decoded
+// configuration must also account for the whole stream (completed +
+// abandoned == submitted) and replay bit-identically.
+func FuzzFacilityFaults(f *testing.F) {
+	// Seeds covering the interesting regimes: a tiny machine under harsh
+	// faults, a backfill queue with malleable jobs, a cluster-only failure
+	// process, and a checkpoint-heavy stream.
+	f.Add([]byte{2, 1, 1, 20, 10, 0, 10, 0, 7, 8, 3, 2, 1, 30, 4, 50, 1, 1, 100, 0})
+	f.Add([]byte{4, 4, 0, 0, 5, 60, 5, 1, 1, 16, 2, 4, 0, 6, 10, 2, 2, 40, 1, 80, 1, 0, 120, 2})
+	f.Add([]byte{1, 1, 1, 5, 2, 5, 2, 3, 3, 64, 1, 1, 1, 12, 2, 0, 1, 200})
+	f.Add([]byte{3, 2, 1, 200, 40, 150, 30, 9, 9, 32, 4, 8, 1, 25, 8, 10, 2, 1, 60, 1, 20, 0, 2, 90, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			v := data[i]
+			i++
+			return v
+		}
+		c := 1 + int(next())%4
+		b := 1 + int(next())%4
+		policy := FCFS
+		if next()%2 == 1 {
+			policy = Backfill
+		}
+		profile := func() machine.FailureProfile {
+			mtbf := next()
+			if mtbf == 0 {
+				return machine.FailureProfile{}
+			}
+			return machine.FailureProfile{
+				MTBF: vclock.Time(float64(mtbf) / 200),
+				MTTR: vclock.Time(float64(1+int(next())%50) / 200),
+			}
+		}
+		faults := FacilityFaults{
+			Cluster:      profile(),
+			Booster:      profile(),
+			Seed:         int64(next())<<8 | int64(next()),
+			MaxFailures:  1 + int(next())%128,
+			MaxRetries:   1 + int(next())%8,
+			RequeueDelay: vclock.Time(float64(1+int(next())%20) / 1000),
+		}
+		if !faults.Enabled() {
+			faults.Cluster = machine.FailureProfile{MTBF: 0.1, MTTR: 0.02}
+		}
+		if next()%2 == 1 {
+			faults.Rewind = testCkpt{every: vclock.Time(float64(1+int(next())%30) / 100)}
+		}
+		njobs := 1 + int(next())%12
+		jobs := make([]Job, 0, njobs)
+		arrival := vclock.Time(0)
+		for id := 1; id <= njobs; id++ {
+			arrival += vclock.Time(float64(int(next())%100) / 100)
+			jc := int(next()) % (c + 1)
+			jb := int(next()) % (b + 1)
+			if jc+jb == 0 {
+				jb = 1
+			}
+			j := Job{ID: id, Cluster: jc, Booster: jb,
+				Arrival: arrival, Duration: vclock.Time(float64(int(next())%200) / 100)}
+			if next()%4 == 0 {
+				j.Malleable = true
+				if jc > 0 {
+					j.MinCluster = 1 + int(next())%jc
+				}
+				if jb > 0 {
+					j.MinBooster = 1 + int(next())%jb
+				}
+			}
+			jobs = append(jobs, j)
+		}
+
+		sched1, cnt1, fr1 := runFaulty(t, c, b, jobs, policy, faults)
+		// The whole run must replay bit-identically: the failure/repair
+		// processes, requeues and grants are kernel events of a seeded
+		// simulation, never host-dependent.
+		sched2, cnt2, fr2 := runFaulty(t, c, b, jobs, policy, faults)
+		if !reflect.DeepEqual(sched1, sched2) || !reflect.DeepEqual(cnt1, cnt2) {
+			t.Fatal("faulty queue run is not deterministic across replays")
+		}
+		for _, mod := range []machine.Module{machine.Cluster, machine.Booster} {
+			if fr1.availability(mod) != fr2.availability(mod) ||
+				fr1.utilisation(mod) != fr2.utilisation(mod) {
+				t.Fatalf("module %v integrals drifted across replays", mod)
+			}
+		}
+	})
+}

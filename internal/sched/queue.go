@@ -106,6 +106,18 @@ type qjob struct {
 	start, end vclock.Time
 	backfilled bool
 	shrunk     bool
+
+	// Fault-mode state (queueRun.faults != nil). A job may run several
+	// attempts: node failures revoke its allocation, rewind its progress to
+	// the best surviving checkpoint and requeue it.
+	work      vclock.Time // remaining nominal (unstretched) work
+	stretch   float64     // current attempt's malleable stretch factor
+	resumed   bool        // next attempt restores from a checkpoint
+	retries   int         // revocations suffered so far
+	gen       int         // attempt generation; retires stale completions
+	done      bool        // completed (terminal)
+	abandoned bool        // retry budget exhausted (terminal)
+	salvaged  float64     // checkpointed node-seconds carried across attempts
 }
 
 // queueCounters aggregates one queue run's scheduler activity; the totals
@@ -117,6 +129,12 @@ type queueCounters struct {
 	shrunk     int
 	peakQueue  int // high-water mark of jobs waiting in the queue
 	events     uint64
+	// Fault-mode activity (zero on failure-free runs).
+	failures    int
+	repairs     int
+	requeues    int
+	abandoned   int
+	lostNodeSec float64
 }
 
 // queueRun is the scheduler state of one kernel queue simulation. Every
@@ -132,6 +150,12 @@ type queueRun struct {
 
 	sched Schedule
 	cnt   queueCounters
+
+	// faults, when non-nil, switches the run into fault mode: failure/repair
+	// events drain and refill the pools, grants schedule completions as
+	// kernel callbacks (revocable between grant and completion), and killed
+	// jobs are rewound and requeued. Nil keeps the exact failure-free path.
+	faults *faultRun
 }
 
 // SimulateQueue schedules the jobs (sorted by arrival) under the policy and
@@ -153,6 +177,15 @@ func (m *Manager) SimulateQueue(jobs []Job, policy Policy) (Schedule, error) {
 // simulateQueue is SimulateQueue plus the scheduler activity counters the
 // facility layer reports.
 func (m *Manager) simulateQueue(jobs []Job, policy Policy) (Schedule, queueCounters, error) {
+	sched, cnt, _, err := m.simulateQueueFaults(jobs, policy, nil)
+	return sched, cnt, err
+}
+
+// simulateQueueFaults is simulateQueue with an optional machine-level
+// failure/repair process (nil or disabled faults keep the failure-free code
+// path event-for-event identical). The returned faultRun carries the
+// availability and occupancy integrals of a faulty run (nil otherwise).
+func (m *Manager) simulateQueueFaults(jobs []Job, policy Policy, faults *FacilityFaults) (Schedule, queueCounters, *faultRun, error) {
 	totalC := m.sys.NodeCount(machine.Cluster)
 	totalB := m.sys.NodeCount(machine.Booster)
 	for _, j := range jobs {
@@ -161,7 +194,7 @@ func (m *Manager) simulateQueue(jobs []Job, policy Policy) (Schedule, queueCount
 			needC, needB = j.MinCluster, j.MinBooster
 		}
 		if needC > totalC || needB > totalB {
-			return Schedule{}, queueCounters{}, fmt.Errorf("sched: job %d (%s) can never run: needs %d/%d of %d/%d nodes",
+			return Schedule{}, queueCounters{}, nil, fmt.Errorf("sched: job %d (%s) can never run: needs %d/%d of %d/%d nodes",
 				j.ID, j.Name, needC, needB, totalC, totalB)
 		}
 	}
@@ -170,22 +203,40 @@ func (m *Manager) simulateQueue(jobs []Job, policy Policy) (Schedule, queueCount
 
 	q := &queueRun{policy: policy, freeC: totalC, freeB: totalB}
 	eng := engine.New()
+	if faults != nil && faults.Enabled() {
+		if err := faults.Validate(); err != nil {
+			return Schedule{}, queueCounters{}, nil, err
+		}
+		q.faults = newFaultRun(*faults, eng, q, totalC, totalB)
+		lastArrival := vclock.Time(0)
+		if len(queue) > 0 {
+			lastArrival = queue[len(queue)-1].Arrival
+		}
+		q.faults.start(lastArrival)
+	}
 	errs := make([]error, len(queue))
 	for i, j := range queue {
-		qj := &qjob{job: j, task: eng.NewTask(jobTaskName(j))}
+		qj := &qjob{job: j, task: eng.NewTask(jobTaskName(j)), work: j.Duration, stretch: 1}
 		qj.task.StartAt(j.Arrival)
 		go q.runJob(qj, &errs[i])
 	}
 	eng.Run()
 	q.cnt.events = eng.Stats().Events
 	eng.Recycle()
+	if f := q.faults; f != nil {
+		q.cnt.failures = f.failures
+		q.cnt.repairs = f.repaired
+		q.cnt.requeues = f.requeues
+		q.cnt.abandoned = f.abandoned
+		q.cnt.lostNodeSec = f.lostNodeSec
+	}
 	noteQueueRun(q.cnt)
 	for _, err := range errs {
 		if err != nil {
-			return Schedule{}, queueCounters{}, err
+			return Schedule{}, queueCounters{}, nil, err
 		}
 	}
-	return q.sched, q.cnt, nil
+	return q.sched, q.cnt, q.faults, nil
 }
 
 // jobTaskName renders a job's kernel task name (appears only in failures).
@@ -217,6 +268,16 @@ func (q *queueRun) runJob(j *qjob, errp *error) {
 		q.cnt.peakQueue = n
 	}
 	q.dispatch(j.job.Arrival, j)
+	if q.faults != nil {
+		// Fault mode: the task parks across its whole (possibly multi-
+		// attempt) lifetime. Grants and revocations happen entirely in
+		// kernel callbacks; the one wake is terminal — completion or
+		// abandonment — and all release bookkeeping already ran there.
+		for !j.done && !j.abandoned {
+			j.task.Park()
+		}
+		return
+	}
 	if !j.granted {
 		// Allocation wait: park until a dispatch grants our nodes. The wake
 		// arrives at the grant instant, so the task resumes exactly when its
@@ -287,7 +348,14 @@ func (q *queueRun) tryStart(j *qjob, now vclock.Time, self *qjob) bool {
 
 // grant reserves nodes for j starting now and records the placement. If j's
 // task is parked (any job but self) the grant wakes it at the start instant.
+// In fault mode grants are revocable: the placement is recorded only at
+// completion, and the completion itself is a kernel callback that a node
+// failure can retire.
 func (q *queueRun) grant(j *qjob, gc, gb int, stretch float64, now vclock.Time, self *qjob) {
+	if q.faults != nil {
+		q.grantFaulty(j, gc, gb, stretch, now)
+		return
+	}
 	dur := vclock.Time(j.job.Duration.Seconds() * stretch)
 	j.granted = true
 	j.grantedC, j.grantedB = gc, gb
@@ -310,6 +378,58 @@ func (q *queueRun) grant(j *qjob, gc, gb int, stretch float64, now vclock.Time, 
 	}
 }
 
+// grantFaulty starts one attempt of j: the runtime covers the remaining
+// (stretched) work plus the rewind policy's checkpoint/restore overhead, and
+// completion is scheduled as a generation-guarded callback so a revocation
+// in between can retire it. The parked task is not woken — it sleeps through
+// all attempts and wakes only at a terminal event.
+func (q *queueRun) grantFaulty(j *qjob, gc, gb int, stretch float64, now vclock.Time) {
+	f := q.faults
+	f.snap(now)
+	work := vclock.Time(j.work.Seconds() * stretch)
+	dur := f.attemptRuntime(work, j.resumed)
+	j.granted = true
+	j.grantedC, j.grantedB = gc, gb
+	j.stretch = stretch
+	j.start, j.end = now, now+dur
+	if gc < j.job.Cluster || gb < j.job.Booster {
+		j.shrunk = true
+		q.cnt.shrunk++
+	}
+	q.freeC -= gc
+	q.freeB -= gb
+	q.running = append(q.running, j)
+	q.cnt.started++
+	gen := j.gen
+	f.eng.CallAt(j.end, func() { q.completeFaulty(j, gen) })
+	f.audit(now, "grant")
+}
+
+// completeFaulty finishes j's current attempt, unless a revocation retired
+// it (generation mismatch). Only now does the job enter the schedule: Start
+// is the final attempt's start, so waits and slowdowns include every requeue.
+func (q *queueRun) completeFaulty(j *qjob, gen int) {
+	if gen != j.gen || j.done {
+		return // a failure revoked this attempt before it finished
+	}
+	f := q.faults
+	at := j.end
+	f.snap(at)
+	j.done = true
+	j.work = 0
+	q.freeC += j.grantedC
+	q.freeB += j.grantedB
+	q.removeRunning(j)
+	p := Placed{Job: j.job, Start: j.start, End: at, Cluster: j.grantedC, Booster: j.grantedB}
+	q.sched.Placed = append(q.sched.Placed, p)
+	if at > q.sched.Makespan {
+		q.sched.Makespan = at
+	}
+	f.audit(at, "complete")
+	j.task.WakeAt(at)
+	q.dispatch(at, nil)
+}
+
 // removeRunning drops a completed job from the running set.
 func (q *queueRun) removeRunning(j *qjob) {
 	for i, r := range q.running {
@@ -324,11 +444,30 @@ func (q *queueRun) removeRunning(j *qjob) {
 }
 
 // headStartEstimate computes when the head job could start if released
-// resources accumulate on schedule.
+// resources accumulate on schedule. In fault mode the scheduled repairs
+// count as capacity-return events too: reservations are recomputed against
+// the shrunken pools, but a head that needs more than the currently
+// operational machine still gets a finite reservation at the repair instants
+// (every failed node has exactly one pending repair, so free + running +
+// repairs always covers the full machine and the unreachable sentinel stays
+// unreachable). The estimate remains a heuristic under faults — future
+// failures are unknowable — which conservative backfill tolerates: a late
+// head start delays backfilled jobs, never strands them.
 func (q *queueRun) headStartEstimate(head Job, now vclock.Time) vclock.Time {
 	evs := make([]event, 0, len(q.running))
 	for _, r := range q.running {
 		evs = append(evs, event{at: r.end, cluster: r.grantedC, booster: r.grantedB})
+	}
+	if q.faults != nil {
+		for _, r := range q.faults.repairs {
+			ev := event{at: r.at}
+			if r.mod == machine.Cluster {
+				ev.cluster = 1
+			} else {
+				ev.booster = 1
+			}
+			evs = append(evs, ev)
+		}
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
 	c, b := q.freeC, q.freeB

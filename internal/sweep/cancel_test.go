@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunContextPreCanceled: a sweep handed an already-dead context runs
+// nothing — every result is a canceled error and no Run function fires.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	var scen []Scenario
+	for i := 0; i < 4; i++ {
+		scen = append(scen, Scenario{Name: "s", Run: func() (Outcome, error) {
+			ran++
+			return Outcome{Metrics: Metrics{"x": 1}}, nil
+		}})
+	}
+	rs := Run(scen, Options{Workers: 2, Context: ctx})
+	if ran != 0 {
+		t.Fatalf("canceled sweep ran %d scenarios", ran)
+	}
+	if rs.Failures != len(scen) {
+		t.Fatalf("failures = %d, want %d", rs.Failures, len(scen))
+	}
+	for i, r := range rs.Results {
+		if !strings.Contains(r.Error, "canceled") || !strings.Contains(r.Error, context.Canceled.Error()) {
+			t.Errorf("result[%d].Error = %q, want canceled", i, r.Error)
+		}
+		if r.Metrics != nil {
+			t.Errorf("result[%d] has metrics despite cancellation", i)
+		}
+	}
+}
+
+// TestRunContextCancelMidSweep cancels from inside the first scenario: with
+// one worker the first scenario completes normally and every later one is
+// marked canceled without running (in-flight work finishes, queued work is
+// dropped — the serve contract for abandoned requests).
+func TestRunContextCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	scen := []Scenario{{Name: "first", Run: func() (Outcome, error) {
+		ran++
+		cancel() // the "client disconnects" while this scenario is in flight
+		return Outcome{Metrics: Metrics{"x": 1}}, nil
+	}}}
+	for i := 0; i < 3; i++ {
+		scen = append(scen, Scenario{Name: "later", Run: func() (Outcome, error) {
+			ran++
+			return Outcome{Metrics: Metrics{"x": 1}}, nil
+		}})
+	}
+	rs := Run(scen, Options{Workers: 1, Context: ctx})
+	if ran != 1 {
+		t.Fatalf("ran %d scenarios, want only the canceling one", ran)
+	}
+	if rs.Results[0].Error != "" || rs.Results[0].Metrics["x"] != 1 {
+		t.Fatalf("in-flight scenario did not finish cleanly: %+v", rs.Results[0])
+	}
+	for i := 1; i < len(rs.Results); i++ {
+		if !strings.Contains(rs.Results[i].Error, "canceled") {
+			t.Errorf("result[%d].Error = %q, want canceled", i, rs.Results[i].Error)
+		}
+	}
+	if err := rs.FirstError(); err == nil {
+		t.Fatal("FirstError = nil, want the cancellation surfaced")
+	}
+}
+
+// TestRunNilContext: the zero Options keep the pre-context behaviour.
+func TestRunNilContext(t *testing.T) {
+	rs := Run([]Scenario{{Name: "s", Run: func() (Outcome, error) {
+		return Outcome{Metrics: Metrics{"x": 1}}, nil
+	}}}, Options{})
+	if rs.Failures != 0 || rs.Results[0].Metrics["x"] != 1 {
+		t.Fatalf("nil-context sweep: %+v", rs)
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"testing"
 	"testing/quick"
 
+	"clusterbooster/internal/machine"
+	"clusterbooster/internal/psmpi"
+	"clusterbooster/internal/resilience"
 	"clusterbooster/internal/sched"
+	"clusterbooster/internal/vclock"
 )
 
 // facilityScenarios is a policy-diverse slice of the facility axis: one
@@ -31,6 +35,91 @@ func facilitySweepJSON(t *testing.T, workers int) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// faultyFacilityScenarios is the failing-machine slice of the facility
+// axis: the same overload stream per policy, now under harsh per-module
+// failure/repair processes — one cold-restart leg and one checkpointed leg
+// each, so kills, requeues, rewinds, retries and repairs all happen in
+// every sweep.
+func faultyFacilityScenarios() []Scenario {
+	var scen []Scenario
+	for _, pol := range sched.FacilityPolicies() {
+		for _, ckpt := range []bool{false, true} {
+			faults := &sched.FacilityFaults{
+				Cluster:    machine.FailureProfile{MTBF: 20, MTTR: 1.5},
+				Booster:    machine.FailureProfile{MTBF: 12, MTTR: 1.5},
+				Seed:       7,
+				MaxRetries: 16,
+			}
+			name := "faulty/" + string(pol) + "/cold"
+			if ckpt {
+				faults.Rewind = resilience.FacilityCheckpoint{
+					Every: 250 * vclock.Millisecond, Cost: 10 * vclock.Millisecond,
+					Restore: 20 * vclock.Millisecond,
+				}
+				name = "faulty/" + string(pol) + "/ckpt"
+			}
+			p := sched.FacilityParams{Policy: pol, Jobs: 200, Load: 1.4, Seed: 42, Faults: faults}
+			scen = append(scen, FacilityResiliencePoint{FacilityParams: p}.Scenario(name))
+		}
+	}
+	return scen
+}
+
+func faultySweepJSON(t *testing.T, workers, kworkers int) []byte {
+	t.Helper()
+	prev := psmpi.DefaultKernelWorkers()
+	psmpi.SetDefaultKernelWorkers(kworkers)
+	defer psmpi.SetDefaultKernelWorkers(prev)
+	rs := Run(faultyFacilityScenarios(), Options{Workers: workers})
+	if err := rs.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFacilityFaultsWorkerCountInvariance extends the facility worker-
+// invariance property to failing streams: seeded failure/repair processes,
+// kills, rewinds and requeues are all events of the stream's private serial
+// kernel, so the sweep JSON must stay byte-identical under any host worker
+// count AND any -kworkers setting (the facility kernel never partitions;
+// kworkers only affects psmpi launches, of which a facility stream has
+// none).
+func TestFacilityFaultsWorkerCountInvariance(t *testing.T) {
+	// The streams must actually suffer: a fault-free replay would make the
+	// property vacuous.
+	rs := Run(faultyFacilityScenarios(), Options{Workers: 1})
+	if err := rs.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	requeues, failures := 0.0, 0.0
+	for _, r := range rs.Results {
+		requeues += r.Metrics["requeues"]
+		failures += r.Metrics["failures"]
+	}
+	if failures == 0 || requeues == 0 {
+		t.Fatalf("faulty streams ran without failures (%v) or requeues (%v)", failures, requeues)
+	}
+	reference := faultySweepJSON(t, 1, 1)
+	if got := faultySweepJSON(t, 4, 4); !bytes.Equal(got, reference) {
+		t.Fatal("faulty facility sweep JSON differs between workers=1/kworkers=1 and workers=4/kworkers=4")
+	}
+	if testing.Short() {
+		return
+	}
+	f := func(w, kw uint8) bool {
+		workers := int(w)%8 + 1
+		kworkers := int(kw) % 5
+		return bytes.Equal(faultySweepJSON(t, workers, kworkers), reference)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatalf("faulty facility worker-count invariance violated: %v", err)
+	}
 }
 
 // TestFacilityWorkerCountInvariance extends the kernel's determinism

@@ -17,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -111,13 +112,26 @@ type Event struct {
 }
 
 // Options tunes a sweep execution. Options only affect scheduling and
-// observation, never the aggregated results.
+// observation, never the aggregated results of the scenarios that run.
 type Options struct {
 	// Workers bounds the host worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Observer, if set, receives progress events. It is called from worker
 	// goroutines and must be safe for concurrent use.
 	Observer func(Event)
+	// Context, if non-nil, cancels the sweep: once done, no further
+	// scenario starts and every not-yet-started scenario's Result carries
+	// the context's error. Scenarios already running finish normally —
+	// simulations are synchronous and are never torn down mid-run.
+	Context context.Context
+}
+
+// ctxErr reports the cancellation state of the sweep's context.
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 func (o Options) workers(n int) int {
@@ -153,11 +167,25 @@ func Run(scenarios []Scenario, opts Options) ResultSet {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Checked again at pickup: cancellation between dispatch and
+				// pickup must not start new work.
+				if err := opts.ctxErr(); err != nil {
+					rs.Results[i] = Result{Index: i, Name: scenarios[i].Name,
+						Error: fmt.Sprintf("canceled: %v", err)}
+					continue
+				}
 				rs.Results[i] = runOne(i, scenarios[i], opts.Observer)
 			}
 		}()
 	}
 	for i := range scenarios {
+		if err := opts.ctxErr(); err != nil {
+			for j := i; j < len(scenarios); j++ {
+				rs.Results[j] = Result{Index: j, Name: scenarios[j].Name,
+					Error: fmt.Sprintf("canceled: %v", err)}
+			}
+			break
+		}
 		idx <- i
 	}
 	close(idx)
